@@ -1,0 +1,211 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation,
+// one testing.B target per artifact. Each iteration executes the experiment
+// end to end at the fast profile (scaled request timescale, highlighted-app
+// subset, sampled combinations — see DESIGN.md §6); cmd/pliant-bench -full
+// runs the same code at paper scale. Figures of merit beyond wall time are
+// attached via b.ReportMetric.
+package pliant_test
+
+import (
+	"testing"
+
+	pliant "github.com/approx-sched/pliant"
+)
+
+// benchProfile returns the per-iteration experiment profile used by the
+// regeneration benches.
+func benchProfile() pliant.ExperimentProfile {
+	p := pliant.FastProfile()
+	p.Apps = []string{"canneal", "SNP", "Bayesian"}
+	p.CombosPerArity = 3
+	p.MaxRunSeconds = 10
+	return p
+}
+
+func BenchmarkTable1Platform(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := pliant.RunExperiment("table1", benchProfile())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Render() == "" {
+			b.Fatal("empty render")
+		}
+	}
+}
+
+func BenchmarkFig1DesignSpace(b *testing.B) {
+	p := pliant.FullProfile() // DSE over all 24 apps is cheap
+	for i := 0; i < b.N; i++ {
+		if _, err := pliant.RunExperiment("fig1dse", p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1VariantImpact(b *testing.B) {
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		if _, err := pliant.RunExperiment("fig1impact", p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4DynamicBehavior(b *testing.B) {
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		if _, err := pliant.RunExperiment("fig4", p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5Aggregate(b *testing.B) {
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		if _, err := pliant.RunExperiment("fig5", p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6MultiApp(b *testing.B) {
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		if _, err := pliant.RunExperiment("fig6", p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7Violin(b *testing.B) {
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		if _, err := pliant.RunExperiment("fig7", p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8LoadSweep(b *testing.B) {
+	p := benchProfile()
+	p.Apps = []string{"canneal", "SNP"}
+	for i := 0; i < b.N; i++ {
+		if _, err := pliant.RunExperiment("fig8", p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9DecisionInterval(b *testing.B) {
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		if _, err := pliant.RunExperiment("fig9", p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10Breakdown(b *testing.B) {
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		if _, err := pliant.RunExperiment("fig10", p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDynInstOverhead(b *testing.B) {
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		if _, err := pliant.RunExperiment("overhead", p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenarioPliant measures one managed colocation end to end — the
+// simulator's core workload — and reports simulated requests per wall
+// second.
+func BenchmarkScenarioPliant(b *testing.B) {
+	var served uint64
+	for i := 0; i < b.N; i++ {
+		res, err := pliant.RunScenario(pliant.ScenarioConfig{
+			Seed:         uint64(i + 1),
+			Service:      pliant.Memcached,
+			AppNames:     []string{"canneal"},
+			Runtime:      pliant.RuntimePliant,
+			LoadFraction: 0.78,
+			TimeScale:    16,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		served += res.Served
+	}
+	b.ReportMetric(float64(served)/b.Elapsed().Seconds(), "requests/s")
+}
+
+// BenchmarkScenarioPrecise is the unmanaged-baseline counterpart.
+func BenchmarkScenarioPrecise(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := pliant.RunScenario(pliant.ScenarioConfig{
+			Seed:         uint64(i + 1),
+			Service:      pliant.Memcached,
+			AppNames:     []string{"canneal"},
+			Runtime:      pliant.RuntimePrecise,
+			LoadFraction: 0.78,
+			TimeScale:    16,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExploreCatalog measures the full 24-app design-space exploration.
+func BenchmarkExploreCatalog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, prof := range pliant.Applications() {
+			opts := pliant.DefaultExploreOptions()
+			opts.MaxVariants = prof.MaxVariants
+			if _, err := pliant.Explore(prof, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkClusterPlacement measures the Sec. 6.4 scheduler-integration
+// study: a six-job batch placed across three service nodes, per policy.
+func BenchmarkClusterPlacement(b *testing.B) {
+	cfg := pliant.ClusterConfig{
+		Seed: 17,
+		Nodes: []pliant.ClusterNode{
+			{Name: "web-1", Service: pliant.NGINX, MaxApps: 3},
+			{Name: "cache-1", Service: pliant.Memcached, MaxApps: 3},
+			{Name: "db-1", Service: pliant.MongoDB, MaxApps: 3},
+		},
+		Jobs:      []string{"PLSA", "streamcluster", "canneal", "Bayesian", "raytrace", "Blast"},
+		TimeScale: 16,
+	}
+	for _, pol := range []pliant.PlacementPolicy{
+		pliant.RoundRobinPlacement{},
+		pliant.InterferenceAwarePlacement{},
+	} {
+		b.Run(pol.Name(), func(b *testing.B) {
+			var met float64
+			for i := 0; i < b.N; i++ {
+				c := cfg
+				c.Policy = pol
+				res, err := pliant.RunCluster(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				met += res.QoSMetFraction
+			}
+			b.ReportMetric(met/float64(b.N), "QoSMetFrac")
+		})
+	}
+}

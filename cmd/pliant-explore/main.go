@@ -1,0 +1,73 @@
+// Command pliant-explore runs the offline approximation design-space
+// exploration (paper Sec. 3 / Fig. 1 odd rows): it enumerates candidate
+// variants for one or all catalog applications, filters them to the
+// inaccuracy budget, and prints the pareto-selected variants the Pliant
+// runtime would switch between.
+//
+// Usage:
+//
+//	pliant-explore                    # all 24 applications
+//	pliant-explore -app canneal       # one application
+//	pliant-explore -budget 10 -all    # 10% budget, print every candidate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	pliant "github.com/approx-sched/pliant"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "", "explore a single application")
+		budget  = flag.Float64("budget", 5.0, "max tolerable inaccuracy in percent")
+		showAll = flag.Bool("all", false, "print every examined candidate, not just selected")
+	)
+	flag.Parse()
+
+	apps := pliant.Applications()
+	if *appName != "" {
+		p, err := pliant.ApplicationByName(*appName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pliant-explore: %v\n", err)
+			os.Exit(1)
+		}
+		apps = []pliant.AppProfile{p}
+	}
+
+	for _, prof := range apps {
+		opts := pliant.DefaultExploreOptions()
+		opts.MaxInaccuracy = *budget
+		opts.MaxVariants = prof.MaxVariants
+		res, err := pliant.Explore(prof, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pliant-explore: %s: %v\n", prof.Name, err)
+			os.Exit(1)
+		}
+		hints := "gprof hot functions"
+		if prof.AcceptHints {
+			hints = "ACCEPT hints"
+		}
+		fmt.Printf("%s (%s, %s; quality = %s)\n", prof.Name, prof.Suite, hints, prof.QualityMetric)
+		fmt.Printf("  examined %d candidate variants; %d selected near the pareto frontier (budget %.1f%%)\n",
+			len(res.All), len(res.Selected), *budget)
+		for i, c := range res.Selected {
+			fmt.Printf("  v%d: time %.2fx, traffic %.2fx, inaccuracy %.2f%%",
+				i+1, c.Effect.TimeScale, c.Effect.TrafficScale, c.Effect.Inaccuracy)
+			if c.Effect.NonDeterministic {
+				fmt.Printf(" (nondeterministic)")
+			}
+			fmt.Printf("  [%d decisions]\n", len(c.Decisions))
+		}
+		if *showAll {
+			fmt.Println("  all examined candidates (time, traffic, inaccuracy):")
+			for _, c := range res.All {
+				fmt.Printf("    %.3f %.3f %.3f\n",
+					c.Effect.TimeScale, c.Effect.TrafficScale, c.Effect.Inaccuracy)
+			}
+		}
+		fmt.Println()
+	}
+}

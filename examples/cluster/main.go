@@ -1,0 +1,49 @@
+// Cluster placement (the paper's Sec. 6.4 closing remark): the breakdown of
+// which services tolerate approximation alone "can be incorporated in the
+// cluster scheduler when deciding which applications to place on the same
+// physical node". This example schedules a batch of approximate jobs across
+// three servers — one per interactive service — first blindly, then using
+// the per-application pressure and per-service tolerance knowledge the
+// Pliant runtime accumulates.
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pliant "github.com/approx-sched/pliant"
+)
+
+func main() {
+	cfg := pliant.ClusterConfig{
+		Seed: 17,
+		Nodes: []pliant.ClusterNode{
+			{Name: "web-1", Service: pliant.NGINX, MaxApps: 3},
+			{Name: "cache-1", Service: pliant.Memcached, MaxApps: 3},
+			{Name: "db-1", Service: pliant.MongoDB, MaxApps: 3},
+		},
+		// A mixed batch: two heavy disruptors, two mid-weight, two light.
+		Jobs:      []string{"PLSA", "streamcluster", "canneal", "Bayesian", "raytrace", "Blast"},
+		TimeScale: 16,
+	}
+
+	results, err := pliant.CompareClusterPolicies(cfg,
+		pliant.RoundRobinPlacement{},
+		pliant.InterferenceAwarePlacement{},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(pliant.RenderClusterComparison(results))
+
+	fmt.Println("\nper-node detail (interference-aware):")
+	for _, n := range results[1].Nodes {
+		fmt.Printf("  %-8s (%-9s) apps=%v  p99 %.2fx QoS\n",
+			n.Node, n.Service, n.Apps, n.TypicalP99)
+	}
+	fmt.Println("\nThe informed policy steers the heaviest jobs to the most tolerant")
+	fmt.Println("service (MongoDB) and shields memcached — the placement guidance the")
+	fmt.Println("paper's Fig. 10 breakdown provides to a cluster scheduler.")
+}

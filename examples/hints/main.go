@@ -1,0 +1,65 @@
+// Hints: onboard a user-provided application from an ACCEPT-style hints file
+// (the paper's Sec. 6.5 interface), explore its approximation design space,
+// and colocate it with NGINX under Pliant.
+//
+//	go run ./examples/hints
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	pliant "github.com/approx-sched/pliant"
+)
+
+func main() {
+	f, err := os.Open(filepath.Join("examples", "hints", "job.accept"))
+	if err != nil {
+		// Allow running from the example directory too.
+		f, err = os.Open("job.accept")
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	defer f.Close()
+
+	prof, err := pliant.ParseHints(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %q: %.0fs nominal, %.0fMB LLC footprint, %d sites\n",
+		prof.Name, prof.NominalExecSec, prof.LLCMB, len(prof.Sites))
+
+	// The same offline exploration the catalog apps get.
+	opts := pliant.DefaultExploreOptions()
+	opts.MaxVariants = prof.MaxVariants
+	dseRes, err := pliant.Explore(prof, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("explored %d candidates, selected %d variants:\n", len(dseRes.All), len(dseRes.Selected))
+	for i, c := range dseRes.Selected {
+		fmt.Printf("  v%d: time %.2fx, traffic %.2fx, inaccuracy %.2f%%\n",
+			i+1, c.Effect.TimeScale, c.Effect.TrafficScale, c.Effect.Inaccuracy)
+	}
+
+	// Colocate it with NGINX under the Pliant runtime.
+	res, err := pliant.RunScenario(pliant.ScenarioConfig{
+		Seed:         21,
+		Service:      pliant.NGINX,
+		AppNames:     []string{prof.Name},
+		CustomApps:   []pliant.AppProfile{prof},
+		Runtime:      pliant.RuntimePliant,
+		LoadFraction: 0.78,
+		TimeScale:    16,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := res.Apps[0]
+	fmt.Printf("\ncolocated with NGINX: steady p99 %.2fx QoS, %s finished in %.2fx nominal "+
+		"with %.2f%% quality loss (max %d cores yielded)\n",
+		res.TypicalOverQoS(), a.Name, a.RelNominal, a.Inaccuracy, a.MaxYielded)
+}

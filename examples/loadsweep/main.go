@@ -1,0 +1,50 @@
+// Load sweep (the paper's Fig. 8 scenario): sweep memcached's offered load
+// from 40% to 100% of saturation with a colocated approximate application and
+// watch Pliant escalate — precise at low load, approximation alone at
+// moderate load, approximation plus core reclamation near saturation.
+//
+//	go run ./examples/loadsweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pliant "github.com/approx-sched/pliant"
+)
+
+func main() {
+	const appName = "streamcluster"
+	fmt.Printf("memcached + %s across offered load (QoS %v)\n\n", appName, pliant.QoSOf(pliant.Memcached))
+	fmt.Printf("%6s %9s %10s %11s %9s %s\n", "load", "p99/QoS", "exec time", "inaccuracy", "yielded", "pliant's deepest lever")
+
+	for _, load := range []float64{0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 1.00} {
+		cfg := pliant.ScenarioConfig{
+			Seed:         11,
+			Service:      pliant.Memcached,
+			AppNames:     []string{appName},
+			Runtime:      pliant.RuntimePliant,
+			LoadFraction: load,
+			TimeScale:    16,
+		}
+		res, err := pliant.RunScenario(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a := res.Apps[0]
+		lever := "precise execution"
+		switch {
+		case a.MaxYielded > 0:
+			lever = fmt.Sprintf("approximation + %d reclaimed core(s)", a.MaxYielded)
+		case a.Inaccuracy > 0.01:
+			lever = "approximation alone"
+		}
+		fmt.Printf("%5.0f%% %8.2fx %9.2fx %10.2f%% %9d %s\n",
+			load*100, res.TypicalOverQoS(), a.RelNominal, a.Inaccuracy, a.MaxYielded, lever)
+	}
+
+	fmt.Println("\nBelow ~60% load the application can run precise; between 60–80%")
+	fmt.Println("approximation alone absorbs the contention; near saturation cores")
+	fmt.Println("must also move, and beyond ~90% no actuation restores QoS —")
+	fmt.Println("the shape of the paper's Fig. 8.")
+}

@@ -1,0 +1,58 @@
+// Quickstart: colocate memcached with one approximate application under the
+// Pliant runtime and compare against the precise baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pliant "github.com/approx-sched/pliant"
+)
+
+func main() {
+	// A colocation scenario: memcached at 78% of saturation sharing the
+	// paper's Table-1 server with the canneal annealer. TimeScale 16 runs
+	// the fast profile (identical utilization arithmetic, ~16x fewer
+	// simulated requests); drop it to 1 for paper-scale request rates.
+	base := pliant.ScenarioConfig{
+		Seed:         1,
+		Service:      pliant.Memcached,
+		AppNames:     []string{"canneal"},
+		LoadFraction: 0.78,
+		TimeScale:    16,
+	}
+
+	// First the paper's baseline: a fair static core split, canneal precise.
+	precise := base
+	precise.Runtime = pliant.RuntimePrecise
+	pRes, err := pliant.RunScenario(precise)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Then the Pliant runtime: on QoS violations it switches canneal to its
+	// most approximate variant and, when that is not enough, reclaims cores
+	// one per decision interval.
+	managed := base
+	managed.Runtime = pliant.RuntimePliant
+	mRes, err := pliant.RunScenario(managed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("memcached QoS target: %v (p99)\n\n", pRes.QoS)
+	fmt.Printf("%-10s %12s %14s %12s %12s\n", "runtime", "p99/QoS", "viol. intervals", "exec time", "inaccuracy")
+	for _, r := range []pliant.ScenarioResult{pRes, mRes} {
+		a := r.Apps[0]
+		fmt.Printf("%-10s %11.2fx %13.0f%% %12v %11.2f%%\n",
+			r.Runtime, r.TypicalOverQoS(), r.ViolationFrac*100, a.ExecTime, a.Inaccuracy)
+	}
+
+	a := mRes.Apps[0]
+	fmt.Printf("\nPliant preserved QoS (%.2fx) while canneal lost %.2f%% output quality\n",
+		mRes.TypicalOverQoS(), a.Inaccuracy)
+	fmt.Printf("and finished in %.2fx of its nominal execution time (max %d cores yielded).\n",
+		a.RelNominal, a.MaxYielded)
+}

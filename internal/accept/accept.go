@@ -1,0 +1,278 @@
+// Package accept implements the user-facing annotation interface the paper
+// describes for settings where Pliant cannot profile source code itself
+// (Sec. 6.5): "the user can provide the approximate variants, or hints on
+// primitives that can be approximated using a framework like ACCEPT". A
+// hints file declares an application's execution characteristics and its
+// approximable sites — perforable loops, elidable synchronization,
+// reducible-precision data — in a line-oriented text format; the parser
+// turns it into an application profile whose variants the design-space
+// exploration then derives exactly as for the built-in catalog.
+//
+// Format (line-oriented; '#' starts a comment):
+//
+//	app         my-analytics
+//	suite       MineBench
+//	exec        42s
+//	parallel    0.90
+//	llc         45MB
+//	bandwidth   2.5
+//	sensitivity llc=0.6 bw=0.5
+//	overhead    3.2%
+//	phase       amp=0.2 period=6s
+//	quality     cluster purity loss
+//	variants    4
+//
+//	perforate em_loop    runtime=0.50 traffic=0.40 useful=0.55 coef=0.08 exp=1.3
+//	elide     table_lock runtime=0.08 traffic=0.20 useful=0.40 coef=0.02
+//	precision scores     runtime=0.06 traffic=0.12 useful=0.35 coef=0.015
+package accept
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/approx-sched/pliant/internal/app"
+	"github.com/approx-sched/pliant/internal/approx"
+	"github.com/approx-sched/pliant/internal/interference"
+)
+
+// Parse reads a hints document and returns the application profile it
+// declares.
+func Parse(r io.Reader) (app.Profile, error) {
+	var p app.Profile
+	p.AcceptHints = true
+	p.ParallelExp = 0.9 // sensible defaults; overridable
+	p.QualityMetric = "user-defined quality metric"
+
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		key, rest := fields[0], fields[1:]
+		var err error
+		switch key {
+		case "app":
+			if len(rest) == 0 {
+				err = fmt.Errorf("app needs a name")
+				break
+			}
+			// Names may contain spaces (e.g. "Fuzzy k-means").
+			p.Name = strings.Join(rest, " ")
+		case "suite":
+			err = expectArgs(rest, 1)
+			if err == nil {
+				p.Suite, err = parseSuite(rest[0])
+			}
+		case "exec":
+			err = expectArgs(rest, 1)
+			if err == nil {
+				p.NominalExecSec, err = parseSeconds(rest[0])
+			}
+		case "parallel":
+			err = expectArgs(rest, 1)
+			if err == nil {
+				p.ParallelExp, err = parseFloat(rest[0])
+			}
+		case "llc":
+			err = expectArgs(rest, 1)
+			if err == nil {
+				p.LLCMB, err = parseMB(rest[0])
+			}
+		case "bandwidth":
+			err = expectArgs(rest, 1)
+			if err == nil {
+				p.BWPerCoreGBs, err = parseFloat(strings.TrimSuffix(rest[0], "GB/s"))
+			}
+		case "sensitivity":
+			kv, kerr := parseKV(rest)
+			if kerr != nil {
+				err = kerr
+				break
+			}
+			p.Sensitivity = interference.Sensitivity{LLC: kv["llc"], MemBW: kv["bw"]}
+		case "overhead":
+			err = expectArgs(rest, 1)
+			if err == nil {
+				var pct float64
+				pct, err = parseFloat(strings.TrimSuffix(rest[0], "%"))
+				p.DynOverhead = pct / 100
+			}
+		case "phase":
+			kv, kerr := parseKV(rest)
+			if kerr != nil {
+				err = kerr
+				break
+			}
+			p.PhaseAmp = kv["amp"]
+			p.PhasePeriodSec = kv["period"]
+		case "quality":
+			p.QualityMetric = strings.Join(rest, " ")
+		case "variants":
+			err = expectArgs(rest, 1)
+			if err == nil {
+				var n int
+				n, err = strconv.Atoi(rest[0])
+				p.MaxVariants = n
+			}
+		case "perforate", "elide", "precision":
+			var site approx.Site
+			site, err = parseSite(key, rest)
+			if err == nil {
+				p.Sites = append(p.Sites, site)
+			}
+		default:
+			err = fmt.Errorf("unknown directive %q", key)
+		}
+		if err != nil {
+			return app.Profile{}, fmt.Errorf("accept: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return app.Profile{}, fmt.Errorf("accept: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return app.Profile{}, fmt.Errorf("accept: %w", err)
+	}
+	return p, nil
+}
+
+// ParseString is Parse on a string.
+func ParseString(doc string) (app.Profile, error) {
+	return Parse(strings.NewReader(doc))
+}
+
+func expectArgs(rest []string, n int) error {
+	if len(rest) != n {
+		return fmt.Errorf("expected %d argument(s), got %d", n, len(rest))
+	}
+	return nil
+}
+
+func parseSuite(s string) (app.Suite, error) {
+	switch strings.ToLower(s) {
+	case "parsec":
+		return app.PARSEC, nil
+	case "splash-2", "splash2":
+		return app.SPLASH2, nil
+	case "minebench":
+		return app.MineBench, nil
+	case "bioperf":
+		return app.BioPerf, nil
+	default:
+		return 0, fmt.Errorf("unknown suite %q", s)
+	}
+}
+
+func parseFloat(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return v, nil
+}
+
+func parseSeconds(s string) (float64, error) {
+	return parseFloat(strings.TrimSuffix(s, "s"))
+}
+
+func parseMB(s string) (float64, error) {
+	return parseFloat(strings.TrimSuffix(s, "MB"))
+}
+
+// parseKV parses "key=value" fields; "period=6s" style suffixes allowed.
+func parseKV(fields []string) (map[string]float64, error) {
+	kv := make(map[string]float64, len(fields))
+	for _, f := range fields {
+		parts := strings.SplitN(f, "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("expected key=value, got %q", f)
+		}
+		v, err := parseFloat(strings.TrimSuffix(strings.TrimSuffix(parts[1], "s"), "%"))
+		if err != nil {
+			return nil, err
+		}
+		kv[parts[0]] = v
+	}
+	return kv, nil
+}
+
+func parseSite(kind string, rest []string) (approx.Site, error) {
+	if len(rest) < 1 {
+		return approx.Site{}, fmt.Errorf("%s needs a site name", kind)
+	}
+	site := approx.Site{Name: rest[0], QualityExp: 1.0}
+	switch kind {
+	case "perforate":
+		site.Technique = approx.LoopPerforation
+	case "elide":
+		site.Technique = approx.SyncElision
+	case "precision":
+		site.Technique = approx.PrecisionReduction
+	}
+	kv, err := parseKV(rest[1:])
+	if err != nil {
+		return approx.Site{}, err
+	}
+	for k, v := range kv {
+		switch k {
+		case "runtime":
+			site.RuntimeShare = v
+		case "traffic":
+			site.TrafficShare = v
+		case "useful":
+			site.UsefulFrac = v
+		case "coef":
+			site.QualityCoef = v
+		case "exp":
+			site.QualityExp = v
+		default:
+			return approx.Site{}, fmt.Errorf("unknown site attribute %q", k)
+		}
+	}
+	return site, site.Validate()
+}
+
+// Format renders a profile back into the hints format, so catalog entries
+// can serve as documentation templates for user-provided applications.
+func Format(p app.Profile) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "app         %s\n", p.Name)
+	fmt.Fprintf(&b, "suite       %s\n", p.Suite)
+	fmt.Fprintf(&b, "exec        %gs\n", p.NominalExecSec)
+	fmt.Fprintf(&b, "parallel    %g\n", p.ParallelExp)
+	fmt.Fprintf(&b, "llc         %gMB\n", p.LLCMB)
+	fmt.Fprintf(&b, "bandwidth   %g\n", p.BWPerCoreGBs)
+	fmt.Fprintf(&b, "sensitivity llc=%g bw=%g\n", p.Sensitivity.LLC, p.Sensitivity.MemBW)
+	fmt.Fprintf(&b, "overhead    %g%%\n", p.DynOverhead*100)
+	if p.PhaseAmp > 0 {
+		fmt.Fprintf(&b, "phase       amp=%g period=%gs\n", p.PhaseAmp, p.PhasePeriodSec)
+	}
+	fmt.Fprintf(&b, "quality     %s\n", p.QualityMetric)
+	if p.MaxVariants > 0 {
+		fmt.Fprintf(&b, "variants    %d\n", p.MaxVariants)
+	}
+	b.WriteString("\n")
+	for _, s := range p.Sites {
+		kind := "perforate"
+		switch s.Technique {
+		case approx.SyncElision:
+			kind = "elide"
+		case approx.PrecisionReduction:
+			kind = "precision"
+		}
+		fmt.Fprintf(&b, "%-9s %s runtime=%g traffic=%g useful=%g coef=%g exp=%g\n",
+			kind, s.Name, s.RuntimeShare, s.TrafficShare, s.UsefulFrac, s.QualityCoef, s.QualityExp)
+	}
+	return b.String()
+}

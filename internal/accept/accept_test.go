@@ -1,0 +1,186 @@
+package accept
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/approx-sched/pliant/internal/app"
+	"github.com/approx-sched/pliant/internal/approx"
+	"github.com/approx-sched/pliant/internal/dse"
+)
+
+const sampleDoc = `
+# a user-provided analytics job
+app         my-analytics
+suite       MineBench
+exec        42s
+parallel    0.90
+llc         45MB
+bandwidth   2.5
+sensitivity llc=0.6 bw=0.5
+overhead    3.2%
+phase       amp=0.2 period=6s
+quality     cluster purity loss
+variants    4
+
+perforate em_loop    runtime=0.50 traffic=0.40 useful=0.55 coef=0.08 exp=1.3
+elide     table_lock runtime=0.08 traffic=0.20 useful=0.40 coef=0.02
+precision scores     runtime=0.06 traffic=0.12 useful=0.35 coef=0.015
+`
+
+func TestParseSample(t *testing.T) {
+	p, err := ParseString(sampleDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "my-analytics" || p.Suite != app.MineBench {
+		t.Fatalf("identity: %s/%v", p.Name, p.Suite)
+	}
+	if p.NominalExecSec != 42 || p.ParallelExp != 0.9 {
+		t.Fatalf("exec: %v/%v", p.NominalExecSec, p.ParallelExp)
+	}
+	if p.LLCMB != 45 || p.BWPerCoreGBs != 2.5 {
+		t.Fatalf("pressure: %v/%v", p.LLCMB, p.BWPerCoreGBs)
+	}
+	if p.Sensitivity.LLC != 0.6 || p.Sensitivity.MemBW != 0.5 {
+		t.Fatalf("sensitivity: %+v", p.Sensitivity)
+	}
+	if p.DynOverhead != 0.032 {
+		t.Fatalf("overhead: %v", p.DynOverhead)
+	}
+	if p.PhaseAmp != 0.2 || p.PhasePeriodSec != 6 {
+		t.Fatalf("phase: %v/%v", p.PhaseAmp, p.PhasePeriodSec)
+	}
+	if p.MaxVariants != 4 {
+		t.Fatalf("variants: %d", p.MaxVariants)
+	}
+	if !p.AcceptHints {
+		t.Fatal("AcceptHints not set")
+	}
+	if len(p.Sites) != 3 {
+		t.Fatalf("sites: %d", len(p.Sites))
+	}
+	if p.Sites[0].Technique != approx.LoopPerforation || p.Sites[0].Name != "em_loop" {
+		t.Fatalf("site 0: %+v", p.Sites[0])
+	}
+	if p.Sites[0].QualityExp != 1.3 {
+		t.Fatalf("site 0 exp: %v", p.Sites[0].QualityExp)
+	}
+	if p.Sites[1].Technique != approx.SyncElision {
+		t.Fatalf("site 1: %+v", p.Sites[1])
+	}
+	if p.Sites[1].QualityExp != 1.0 { // default
+		t.Fatalf("site 1 exp default: %v", p.Sites[1].QualityExp)
+	}
+	if p.Sites[2].Technique != approx.PrecisionReduction {
+		t.Fatalf("site 2: %+v", p.Sites[2])
+	}
+}
+
+func TestParsedProfileExplores(t *testing.T) {
+	p, err := ParseString(sampleDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dse.ExploreApp(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) == 0 || len(res.Selected) > 4 {
+		t.Fatalf("selected %d variants, want 1..4", len(res.Selected))
+	}
+	for _, c := range res.Selected {
+		if c.Effect.Inaccuracy > 5 {
+			t.Fatalf("selected variant over budget: %+v", c.Effect)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown directive": "frobnicate yes",
+		"bad suite":         "suite Unknown",
+		"bad number":        "exec notanumber",
+		"bad kv":            "sensitivity llc:0.5",
+		"site no name":      "perforate",
+		"bad site attr":     "perforate loop wat=1",
+		"missing app": `
+exec 10s
+llc 10MB
+perforate loop runtime=0.5 traffic=0.5 useful=0.5 coef=0.1 exp=1
+`,
+		"no sites": `
+app x
+exec 10s
+llc 10MB
+`,
+	}
+	for name, doc := range cases {
+		if _, err := ParseString(doc); err == nil {
+			t.Errorf("%s: parse accepted %q", name, doc)
+		}
+	}
+}
+
+func TestCommentsAndBlanksIgnored(t *testing.T) {
+	doc := `
+# leading comment
+app x # trailing comment
+
+exec 10s
+llc 10MB
+perforate loop runtime=0.5 traffic=0.5 useful=0.5 coef=0.1 exp=1
+`
+	p, err := ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "x" {
+		t.Fatalf("name %q", p.Name)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	// Every catalog profile must survive Format → Parse with identical
+	// exploration results.
+	for _, orig := range app.Catalog() {
+		doc := Format(orig)
+		back, err := ParseString(doc)
+		if err != nil {
+			t.Fatalf("%s: reparse failed: %v\ndoc:\n%s", orig.Name, err, doc)
+		}
+		if back.Name != orig.Name || back.Suite != orig.Suite {
+			t.Fatalf("%s: identity changed", orig.Name)
+		}
+		if len(back.Sites) != len(orig.Sites) {
+			t.Fatalf("%s: site count %d != %d", orig.Name, len(back.Sites), len(orig.Sites))
+		}
+		origRes, err := dse.ExploreApp(orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		backRes, err := dse.ExploreApp(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(origRes.Selected) != len(backRes.Selected) {
+			t.Fatalf("%s: selection changed after round trip: %d vs %d",
+				orig.Name, len(origRes.Selected), len(backRes.Selected))
+		}
+		for i := range origRes.Selected {
+			if origRes.Selected[i].Effect != backRes.Selected[i].Effect {
+				t.Fatalf("%s: variant %d effect changed", orig.Name, i)
+			}
+		}
+	}
+}
+
+func TestFormatContainsDirectives(t *testing.T) {
+	p, _ := app.ByName("canneal")
+	doc := Format(p)
+	for _, want := range []string{"app         canneal", "suite       PARSEC", "perforate", "elide"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("Format missing %q:\n%s", want, doc)
+		}
+	}
+}

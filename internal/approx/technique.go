@@ -1,0 +1,246 @@
+// Package approx models the source-level approximation techniques the paper
+// explores (Sec. 3): loop perforation, synchronization elision, and
+// lower-precision data types. Each application exposes a set of approximable
+// sites; a combination of per-site decisions forms an approximate variant
+// whose effect on execution time, memory traffic, and output quality is
+// computed here. The design-space exploration (package dse) enumerates
+// decisions and selects the pareto-optimal variants Pliant switches between
+// at runtime.
+package approx
+
+import (
+	"fmt"
+	"math"
+)
+
+// Technique is one of the paper's three approximation strategies.
+type Technique int
+
+// The approximation techniques from Sec. 3 of the paper.
+const (
+	// LoopPerforation omits a fraction of a loop's iterations.
+	LoopPerforation Technique = iota
+	// SyncElision removes locks/barriers, trading determinism for less
+	// memory traffic and shorter critical paths.
+	SyncElision
+	// PrecisionReduction narrows data types (double→float→int), reducing
+	// memory traffic and, to a lesser degree, execution time.
+	PrecisionReduction
+)
+
+// String names the technique.
+func (t Technique) String() string {
+	switch t {
+	case LoopPerforation:
+		return "perforation"
+	case SyncElision:
+		return "sync-elision"
+	case PrecisionReduction:
+		return "precision"
+	default:
+		return fmt.Sprintf("technique(%d)", int(t))
+	}
+}
+
+// PerforationMode selects how a loop is perforated (Sec. 3: execute a chunk
+// of MAX_ITER/p iterations, execute every p-th iteration, or skip every
+// p-th iteration).
+type PerforationMode int
+
+// The three ways the paper describes to perforate a loop by a factor p.
+const (
+	// Chunk executes only the first MAX_ITER/p iterations.
+	Chunk PerforationMode = iota
+	// Stride executes every p-th iteration.
+	Stride
+	// SkipEveryPth executes all but every p-th iteration, reducing the
+	// loop by (p-1)/p... i.e., skipping only a 1/p fraction.
+	SkipEveryPth
+)
+
+// String names the mode.
+func (m PerforationMode) String() string {
+	switch m {
+	case Chunk:
+		return "chunk"
+	case Stride:
+		return "stride"
+	case SkipEveryPth:
+		return "skip-pth"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// SkippedFraction returns the fraction of iterations omitted when perforating
+// by factor p under mode m.
+func (m PerforationMode) SkippedFraction(p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	switch m {
+	case Chunk, Stride:
+		return 1 - 1/float64(p)
+	case SkipEveryPth:
+		return 1 / float64(p)
+	default:
+		return 0
+	}
+}
+
+// Site is one approximable location in an application: a perforable loop, an
+// elidable synchronization construct, or a precision-reducible datum. The
+// shares describe how much of the application's execution time and memory
+// traffic the site accounts for; the quality parameters describe how output
+// accuracy degrades as the site is approximated.
+type Site struct {
+	// Name identifies the function housing the site (the unit DynamoRIO
+	// replaces).
+	Name      string
+	Technique Technique
+
+	// RuntimeShare and TrafficShare are the fractions of total execution
+	// time and total memory traffic attributable to this site (from ACCEPT
+	// hints or gprof profiling, Sec. 3).
+	RuntimeShare float64
+	TrafficShare float64
+
+	// UsefulFrac is the fraction of the site's iterations that contribute
+	// to output quality. Sec. 3's canneal example: iterations that reject
+	// the candidate move do no useful work, so skipping them is free.
+	UsefulFrac float64
+
+	// QualityCoef scales inaccuracy (in percent) per unit of useful work
+	// skipped; QualityExp curves it (exponents >1 mean early skips are
+	// cheap, later ones expensive).
+	QualityCoef float64
+	QualityExp  float64
+}
+
+// Validate reports structural problems with a site definition.
+func (s Site) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("approx: site missing name")
+	case s.RuntimeShare < 0 || s.RuntimeShare > 1:
+		return fmt.Errorf("approx: site %s runtime share %v outside [0,1]", s.Name, s.RuntimeShare)
+	case s.TrafficShare < 0 || s.TrafficShare > 1:
+		return fmt.Errorf("approx: site %s traffic share %v outside [0,1]", s.Name, s.TrafficShare)
+	case s.UsefulFrac < 0 || s.UsefulFrac > 1:
+		return fmt.Errorf("approx: site %s useful fraction %v outside [0,1]", s.Name, s.UsefulFrac)
+	case s.QualityCoef < 0:
+		return fmt.Errorf("approx: site %s negative quality coefficient", s.Name)
+	case s.QualityExp <= 0:
+		return fmt.Errorf("approx: site %s quality exponent must be positive", s.Name)
+	}
+	return nil
+}
+
+// Decision is the chosen approximation setting for one site.
+type Decision struct {
+	Site int // index into the application's site list
+
+	// Perforation settings (LoopPerforation sites).
+	Factor int
+	Mode   PerforationMode
+
+	// Enabled applies to SyncElision and PrecisionReduction sites.
+	Enabled bool
+}
+
+// Effect is the net impact of a variant on an application.
+type Effect struct {
+	// TimeScale multiplies execution time (1 = precise, lower = faster).
+	TimeScale float64
+	// TrafficScale multiplies memory traffic and cache pressure.
+	TrafficScale float64
+	// Inaccuracy is the output quality loss in percent.
+	Inaccuracy float64
+	// NonDeterministic marks variants whose quality loss has run-to-run
+	// noise (sync elision), per the paper's canneal/memcached observation.
+	NonDeterministic bool
+}
+
+// Precise is the identity effect.
+func Precise() Effect {
+	return Effect{TimeScale: 1, TrafficScale: 1, Inaccuracy: 0}
+}
+
+// minTimeScale bounds how much perforation can shrink execution: runtime
+// outside approximable sites always remains.
+const minTimeScale = 0.05
+
+// Apply computes the effect of the decision on its site. Callers must pass
+// the site the decision refers to.
+func (d Decision) Apply(site Site) Effect {
+	eff := Precise()
+	switch site.Technique {
+	case LoopPerforation:
+		skipped := d.Mode.SkippedFraction(d.Factor)
+		if skipped == 0 {
+			return eff
+		}
+		eff.TimeScale = 1 - site.RuntimeShare*skipped
+		eff.TrafficScale = 1 - site.TrafficShare*skipped
+		// Chunk mode truncates converging algorithms and is more damaging
+		// per skipped iteration than spreading skips (stride): the final
+		// iterations it drops are the ones refining the answer.
+		modePenalty := 1.0
+		if d.Mode == Chunk {
+			modePenalty = 1.3
+		}
+		useful := skipped * site.UsefulFrac
+		eff.Inaccuracy = site.QualityCoef * modePenalty * pow(useful, site.QualityExp) * 100
+	case SyncElision:
+		if !d.Enabled {
+			return eff
+		}
+		eff.TimeScale = 1 - site.RuntimeShare
+		eff.TrafficScale = 1 - site.TrafficShare
+		eff.Inaccuracy = site.QualityCoef * pow(site.UsefulFrac, site.QualityExp) * 100
+		eff.NonDeterministic = true
+	case PrecisionReduction:
+		if !d.Enabled {
+			return eff
+		}
+		// Narrower types halve the site's traffic; time benefits less
+		// (dominated by the saved memory stalls).
+		eff.TrafficScale = 1 - site.TrafficShare*0.5
+		eff.TimeScale = 1 - site.RuntimeShare*0.35
+		eff.Inaccuracy = site.QualityCoef * pow(site.UsefulFrac, site.QualityExp) * 100
+	}
+	return eff
+}
+
+// Combine folds together the effects of independent decisions on different
+// sites. Time and traffic reductions compose multiplicatively (each removes a
+// share of what remains); inaccuracies add, as losses from independent sites
+// compound approximately linearly at the small magnitudes allowed (≤5%).
+func Combine(effects ...Effect) Effect {
+	out := Precise()
+	for _, e := range effects {
+		out.TimeScale *= e.TimeScale
+		out.TrafficScale *= e.TrafficScale
+		out.Inaccuracy += e.Inaccuracy
+		out.NonDeterministic = out.NonDeterministic || e.NonDeterministic
+	}
+	if out.TimeScale < minTimeScale {
+		out.TimeScale = minTimeScale
+	}
+	if out.TrafficScale < 0 {
+		out.TrafficScale = 0
+	}
+	return out
+}
+
+// pow clamps negative bases (no useful work skipped) to zero loss before
+// exponentiating.
+func pow(base, exp float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	if exp == 1 {
+		return base
+	}
+	return math.Pow(base, exp)
+}

@@ -1,0 +1,203 @@
+package approx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTechniqueStrings(t *testing.T) {
+	if LoopPerforation.String() != "perforation" ||
+		SyncElision.String() != "sync-elision" ||
+		PrecisionReduction.String() != "precision" {
+		t.Fatal("technique names wrong")
+	}
+	if Chunk.String() != "chunk" || Stride.String() != "stride" || SkipEveryPth.String() != "skip-pth" {
+		t.Fatal("mode names wrong")
+	}
+}
+
+func TestSkippedFraction(t *testing.T) {
+	// Sec. 3: chunk executes MAX_ITER/p, stride executes every p-th (both
+	// skip 1-1/p); skip-every-pth drops a 1/p fraction.
+	if got := Chunk.SkippedFraction(4); got != 0.75 {
+		t.Fatalf("chunk p=4: %v, want 0.75", got)
+	}
+	if got := Stride.SkippedFraction(4); got != 0.75 {
+		t.Fatalf("stride p=4: %v, want 0.75", got)
+	}
+	if got := SkipEveryPth.SkippedFraction(4); got != 0.25 {
+		t.Fatalf("skip-pth p=4: %v, want 0.25", got)
+	}
+	// Factor 1 or below means no perforation.
+	for _, m := range []PerforationMode{Chunk, Stride, SkipEveryPth} {
+		if got := m.SkippedFraction(1); got != 0 {
+			t.Fatalf("%v p=1: %v, want 0", m, got)
+		}
+		if got := m.SkippedFraction(0); got != 0 {
+			t.Fatalf("%v p=0: %v, want 0", m, got)
+		}
+	}
+}
+
+func TestSiteValidate(t *testing.T) {
+	good := Site{Name: "loop", Technique: LoopPerforation, RuntimeShare: 0.5,
+		TrafficShare: 0.4, UsefulFrac: 0.5, QualityCoef: 0.1, QualityExp: 1.2}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Site{
+		{}, // no name
+		{Name: "x", RuntimeShare: 1.5, QualityExp: 1},
+		{Name: "x", TrafficShare: -0.1, QualityExp: 1},
+		{Name: "x", UsefulFrac: 2, QualityExp: 1},
+		{Name: "x", QualityCoef: -1, QualityExp: 1},
+		{Name: "x", QualityExp: 0},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad site %d validated", i)
+		}
+	}
+}
+
+func TestPreciseEffect(t *testing.T) {
+	p := Precise()
+	if p.TimeScale != 1 || p.TrafficScale != 1 || p.Inaccuracy != 0 || p.NonDeterministic {
+		t.Fatalf("Precise() = %+v", p)
+	}
+}
+
+func TestPerforationEffect(t *testing.T) {
+	site := Site{Name: "loop", Technique: LoopPerforation, RuntimeShare: 0.6,
+		TrafficShare: 0.4, UsefulFrac: 0.5, QualityCoef: 0.2, QualityExp: 1.0}
+	d := Decision{Factor: 2, Mode: Stride} // skips half
+	eff := d.Apply(site)
+	if math.Abs(eff.TimeScale-0.7) > 1e-12 { // 1 - 0.6*0.5
+		t.Fatalf("TimeScale = %v, want 0.7", eff.TimeScale)
+	}
+	if math.Abs(eff.TrafficScale-0.8) > 1e-12 { // 1 - 0.4*0.5
+		t.Fatalf("TrafficScale = %v, want 0.8", eff.TrafficScale)
+	}
+	// loss = 0.2 * (0.5*0.5)^1 * 100 = 5%.
+	if math.Abs(eff.Inaccuracy-5.0) > 1e-9 {
+		t.Fatalf("Inaccuracy = %v, want 5.0", eff.Inaccuracy)
+	}
+	if eff.NonDeterministic {
+		t.Fatal("perforation must be deterministic")
+	}
+}
+
+func TestChunkMoreDamagingThanStride(t *testing.T) {
+	site := Site{Name: "loop", Technique: LoopPerforation, RuntimeShare: 0.5,
+		TrafficShare: 0.5, UsefulFrac: 0.5, QualityCoef: 0.2, QualityExp: 1.2}
+	chunk := Decision{Factor: 4, Mode: Chunk}.Apply(site)
+	stride := Decision{Factor: 4, Mode: Stride}.Apply(site)
+	if chunk.TimeScale != stride.TimeScale {
+		t.Fatal("chunk and stride should save the same time at equal p")
+	}
+	if chunk.Inaccuracy <= stride.Inaccuracy {
+		t.Fatalf("chunk loss %v should exceed stride loss %v", chunk.Inaccuracy, stride.Inaccuracy)
+	}
+}
+
+func TestInactivePerforationIsPrecise(t *testing.T) {
+	site := Site{Name: "loop", Technique: LoopPerforation, RuntimeShare: 0.5,
+		UsefulFrac: 0.5, QualityCoef: 0.2, QualityExp: 1}
+	if eff := (Decision{Factor: 1, Mode: Stride}).Apply(site); eff != Precise() {
+		t.Fatalf("factor-1 perforation = %+v", eff)
+	}
+}
+
+func TestSyncElisionEffect(t *testing.T) {
+	site := Site{Name: "lock", Technique: SyncElision, RuntimeShare: 0.1,
+		TrafficShare: 0.3, UsefulFrac: 0.4, QualityCoef: 0.02, QualityExp: 1}
+	off := Decision{}.Apply(site)
+	if off != Precise() {
+		t.Fatalf("disabled elision = %+v", off)
+	}
+	on := Decision{Enabled: true}.Apply(site)
+	if math.Abs(on.TimeScale-0.9) > 1e-12 || math.Abs(on.TrafficScale-0.7) > 1e-12 {
+		t.Fatalf("elision scales = %v/%v", on.TimeScale, on.TrafficScale)
+	}
+	if !on.NonDeterministic {
+		t.Fatal("elision must be flagged nondeterministic")
+	}
+	if math.Abs(on.Inaccuracy-0.8) > 1e-9 { // 0.02*0.4*100
+		t.Fatalf("elision loss = %v, want 0.8", on.Inaccuracy)
+	}
+}
+
+func TestPrecisionReductionEffect(t *testing.T) {
+	site := Site{Name: "dbl", Technique: PrecisionReduction, RuntimeShare: 0.2,
+		TrafficShare: 0.4, UsefulFrac: 0.5, QualityCoef: 0.01, QualityExp: 1}
+	on := Decision{Enabled: true}.Apply(site)
+	if math.Abs(on.TrafficScale-0.8) > 1e-12 { // halves the site's 0.4 share
+		t.Fatalf("TrafficScale = %v, want 0.8", on.TrafficScale)
+	}
+	if math.Abs(on.TimeScale-0.93) > 1e-12 { // 35% of the 0.2 share
+		t.Fatalf("TimeScale = %v, want 0.93", on.TimeScale)
+	}
+	if on.NonDeterministic {
+		t.Fatal("precision reduction is deterministic")
+	}
+}
+
+func TestCombine(t *testing.T) {
+	a := Effect{TimeScale: 0.8, TrafficScale: 0.9, Inaccuracy: 1.0}
+	b := Effect{TimeScale: 0.5, TrafficScale: 0.6, Inaccuracy: 2.0, NonDeterministic: true}
+	c := Combine(a, b)
+	if math.Abs(c.TimeScale-0.4) > 1e-12 {
+		t.Fatalf("TimeScale = %v, want 0.4", c.TimeScale)
+	}
+	if math.Abs(c.TrafficScale-0.54) > 1e-12 {
+		t.Fatalf("TrafficScale = %v, want 0.54", c.TrafficScale)
+	}
+	if c.Inaccuracy != 3.0 {
+		t.Fatalf("Inaccuracy = %v, want 3.0", c.Inaccuracy)
+	}
+	if !c.NonDeterministic {
+		t.Fatal("nondeterminism should propagate")
+	}
+	if Combine() != Precise() {
+		t.Fatal("empty Combine should be precise")
+	}
+}
+
+func TestCombineFloorsTimeScale(t *testing.T) {
+	tiny := Effect{TimeScale: 0.1, TrafficScale: 0.1}
+	c := Combine(tiny, tiny, tiny)
+	if c.TimeScale != 0.05 {
+		t.Fatalf("TimeScale = %v, want floor 0.05", c.TimeScale)
+	}
+	if c.TrafficScale < 0 {
+		t.Fatal("TrafficScale went negative")
+	}
+}
+
+// Property: deeper perforation never reduces inaccuracy and never increases
+// execution time (monotone trade-off).
+func TestPerforationMonotoneProperty(t *testing.T) {
+	f := func(rtRaw, tfRaw, ufRaw, qcRaw uint8) bool {
+		site := Site{
+			Name: "s", Technique: LoopPerforation,
+			RuntimeShare: float64(rtRaw) / 255,
+			TrafficShare: float64(tfRaw) / 255,
+			UsefulFrac:   float64(ufRaw) / 255,
+			QualityCoef:  float64(qcRaw) / 255,
+			QualityExp:   1.3,
+		}
+		prevTime, prevInacc := 2.0, -1.0
+		for _, p := range []int{2, 3, 4, 6, 8, 12} {
+			eff := Decision{Factor: p, Mode: Stride}.Apply(site)
+			if eff.TimeScale > prevTime+1e-12 || eff.Inaccuracy < prevInacc-1e-12 {
+				return false
+			}
+			prevTime, prevInacc = eff.TimeScale, eff.Inaccuracy
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

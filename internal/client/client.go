@@ -1,0 +1,81 @@
+// Package client implements the open-loop workload generators that drive the
+// interactive services, mirroring the paper's client machines: arrivals are
+// generated independently of completions (so an overloaded server accumulates
+// queueing rather than throttling the offered load), and end-to-end latency
+// is observed on the client side where the paper's performance monitor lives.
+package client
+
+import (
+	"fmt"
+
+	"github.com/approx-sched/pliant/internal/service"
+	"github.com/approx-sched/pliant/internal/sim"
+	"github.com/approx-sched/pliant/internal/workload"
+)
+
+// Generator drives one service instance with an arrival process.
+type Generator struct {
+	eng     *sim.Engine
+	rng     *sim.RNG
+	svc     *service.Instance
+	arrival workload.ArrivalProcess
+
+	running bool
+	stopped bool
+	sent    uint64
+}
+
+// New creates a generator. Call Start to begin offering load.
+func New(eng *sim.Engine, rng *sim.RNG, svc *service.Instance, arrival workload.ArrivalProcess) (*Generator, error) {
+	if eng == nil || rng == nil || svc == nil || arrival == nil {
+		return nil, fmt.Errorf("client: nil dependency")
+	}
+	if arrival.Rate() <= 0 {
+		return nil, fmt.Errorf("client: arrival rate must be positive")
+	}
+	return &Generator{eng: eng, rng: rng, svc: svc, arrival: arrival}, nil
+}
+
+// Start begins generating arrivals at the current simulation time.
+func (g *Generator) Start() {
+	if g.running {
+		return
+	}
+	g.running = true
+	g.stopped = false
+	g.scheduleNext()
+}
+
+// Stop halts generation after any already-scheduled arrival.
+func (g *Generator) Stop() {
+	g.stopped = true
+	g.running = false
+}
+
+// Sent reports how many requests have been offered so far.
+func (g *Generator) Sent() uint64 { return g.sent }
+
+// Rate returns the offered load in requests/second.
+func (g *Generator) Rate() float64 { return g.arrival.Rate() }
+
+func (g *Generator) scheduleNext() {
+	g.eng.After(g.arrival.Next(g.rng), func() {
+		if g.stopped {
+			return
+		}
+		g.sent++
+		g.svc.Arrive()
+		g.scheduleNext()
+	})
+}
+
+// SetRate replaces the arrival process with a Poisson process at the given
+// QPS, effective from the next arrival. Used by load sweeps.
+func (g *Generator) SetRate(qps float64) error {
+	p, err := workload.NewPoisson(qps)
+	if err != nil {
+		return err
+	}
+	g.arrival = p
+	return nil
+}

@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/approx-sched/pliant/internal/app"
+	"github.com/approx-sched/pliant/internal/service"
+)
+
+func testNodes() []Node {
+	return []Node{
+		{Name: "n0", Service: service.NGINX, MaxApps: 3},
+		{Name: "n1", Service: service.Memcached, MaxApps: 3},
+		{Name: "n2", Service: service.MongoDB, MaxApps: 3},
+	}
+}
+
+func jobProfiles(t *testing.T, names ...string) []app.Profile {
+	t.Helper()
+	out := make([]app.Profile, len(names))
+	for i, n := range names {
+		p, err := app.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func TestRoundRobinPlacement(t *testing.T) {
+	jobs := jobProfiles(t, "canneal", "SNP", "raytrace", "Bayesian")
+	p, err := RoundRobin{}.Place(testNodes(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Placement{0, 1, 2, 0}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("placement %v, want %v", p, want)
+		}
+	}
+}
+
+func TestRoundRobinRespectsCapacity(t *testing.T) {
+	nodes := []Node{
+		{Name: "tiny", Service: service.MongoDB, MaxApps: 1},
+		{Name: "big", Service: service.MongoDB, MaxApps: 3},
+	}
+	jobs := jobProfiles(t, "canneal", "SNP", "raytrace")
+	p, err := RoundRobin{}.Place(nodes, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count0 := 0
+	for _, n := range p {
+		if n == 0 {
+			count0++
+		}
+	}
+	if count0 > 1 {
+		t.Fatalf("tiny node got %d jobs", count0)
+	}
+	// Overfull batch errors.
+	many := jobProfiles(t, "canneal", "SNP", "raytrace", "Bayesian", "PLSA")
+	if _, err := (RoundRobin{}).Place(nodes, many); err == nil {
+		t.Fatal("over-capacity batch accepted")
+	}
+}
+
+func TestInterferenceAwareSendsHeavyToTolerant(t *testing.T) {
+	// PLSA is the heaviest pressure source; MongoDB the most tolerant
+	// service. The interference-aware policy must pair them.
+	jobs := jobProfiles(t, "PLSA", "raytrace", "Blast")
+	nodes := testNodes()
+	p, err := InterferenceAware{}.Place(nodes, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes[p[0]].Service != service.MongoDB {
+		t.Fatalf("PLSA placed on %v, want mongodb", nodes[p[0]].Service)
+	}
+}
+
+func TestInterferenceAwareCapacity(t *testing.T) {
+	nodes := []Node{{Name: "only", Service: service.NGINX, MaxApps: 1}}
+	jobs := jobProfiles(t, "canneal", "SNP")
+	if _, err := (InterferenceAware{}).Place(nodes, jobs); err == nil {
+		t.Fatal("over-capacity accepted")
+	}
+}
+
+func TestPressureOrdering(t *testing.T) {
+	plsa, _ := app.ByName("PLSA")
+	ray, _ := app.ByName("raytrace")
+	if pressureOf(plsa) <= pressureOf(ray) {
+		t.Fatalf("PLSA pressure %.1f not above raytrace %.1f", pressureOf(plsa), pressureOf(ray))
+	}
+}
+
+func TestRunValidates(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := Run(Config{Nodes: testNodes()}); err == nil {
+		t.Fatal("missing policy accepted")
+	}
+	cfg := Config{
+		Nodes:  testNodes(),
+		Jobs:   []string{"no-such-app"},
+		Policy: RoundRobin{},
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown job accepted")
+	}
+}
+
+func TestClusterRunEndToEnd(t *testing.T) {
+	cfg := Config{
+		Seed:      3,
+		Nodes:     testNodes(),
+		Jobs:      []string{"canneal", "SNP", "raytrace"},
+		Policy:    InterferenceAware{},
+		TimeScale: 16,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "interference-aware" {
+		t.Fatalf("policy %q", res.Policy)
+	}
+	if len(res.Nodes) != 3 {
+		t.Fatalf("nodes %d", len(res.Nodes))
+	}
+	if res.QoSMetFraction < 2.0/3.0 {
+		t.Fatalf("QoS met on only %.0f%% of nodes", res.QoSMetFraction*100)
+	}
+	if res.MeanInaccuracy <= 0 || res.MeanInaccuracy > 6 {
+		t.Fatalf("mean inaccuracy %.2f%%", res.MeanInaccuracy)
+	}
+}
+
+func TestCompareRendersBothPolicies(t *testing.T) {
+	cfg := Config{
+		Seed:      7,
+		Nodes:     testNodes(),
+		Jobs:      []string{"PLSA", "canneal", "raytrace"},
+		TimeScale: 16,
+	}
+	results, err := Compare(cfg, RoundRobin{}, InterferenceAware{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results %d", len(results))
+	}
+	out := Render(results)
+	if !strings.Contains(out, "round-robin") || !strings.Contains(out, "interference-aware") {
+		t.Fatalf("render missing policies:\n%s", out)
+	}
+	// The informed policy should not do worse on the worst node.
+	if results[1].WorstP99 > results[0].WorstP99*1.25 {
+		t.Fatalf("interference-aware worst p99 %.2f much worse than round-robin %.2f",
+			results[1].WorstP99, results[0].WorstP99)
+	}
+}
+
+func TestShuffledJobsDeterministic(t *testing.T) {
+	a := ShuffledJobs(1, 5)
+	b := ShuffledJobs(1, 5)
+	if len(a) != 5 {
+		t.Fatalf("len %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+	c := ShuffledJobs(2, 5)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical shuffles")
+	}
+	if len(ShuffledJobs(1, 100)) != 24 {
+		t.Fatal("overlong request not clamped to catalog size")
+	}
+}

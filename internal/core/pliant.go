@@ -1,0 +1,172 @@
+package core
+
+import (
+	"github.com/approx-sched/pliant/internal/sim"
+)
+
+// PliantPolicy is the paper's runtime algorithm (Fig. 3 and Sec. 4.3–4.4).
+//
+// On a QoS violation:
+//   - If some application is running below its most approximate variant,
+//     switch one application (round-robin; the first is chosen randomly)
+//     directly to its most approximate variant — jumping rather than
+//     stepping, "to avoid prolonged degraded performance".
+//   - Once every application runs at its most approximate variant, reclaim
+//     cores: one application and one core per interval, round-robin.
+//
+// When QoS is met with slack above the threshold (10%), revert the most
+// recent action class incrementally: first return reclaimed cores (one per
+// interval, most recently penalized application first), then step variants
+// back toward precise one level at a time.
+//
+// With slack at or below the threshold, hold state.
+type PliantPolicy struct {
+	rng *sim.RNG
+
+	// SlackPatience is how many consecutive high-slack intervals must pass
+	// before each revert step. The paper reverts on a single high-slack
+	// interval; on the simulated platform the core quantum is coarse
+	// relative to the queueing cliff, so immediate reverts ping-pong
+	// between violation and deep slack (exactly the failure mode Sec. 4.3
+	// predicts for too-low slack thresholds). A patience of 1 reproduces
+	// the paper's literal rule.
+	SlackPatience int
+
+	// cursor is the round-robin position for penalization.
+	cursor     int
+	seeded     bool
+	yieldStack []int // app indices in core-reclaim order (for LIFO return)
+	slackRun   int   // consecutive high-slack intervals observed
+}
+
+// DefaultSlackPatience is the number of consecutive high-slack intervals
+// before a revert step.
+const DefaultSlackPatience = 3
+
+// NewPliantPolicy returns the paper's policy. The RNG seeds the initial
+// round-robin position ("selected randomly", Sec. 4.4).
+func NewPliantPolicy(rng *sim.RNG) *PliantPolicy {
+	return &PliantPolicy{rng: rng, SlackPatience: DefaultSlackPatience}
+}
+
+// Name identifies the policy in traces and reports.
+func (p *PliantPolicy) Name() string { return "pliant" }
+
+// Decide implements Policy.
+func (p *PliantPolicy) Decide(s Snapshot) []Action {
+	active := activeApps(s)
+	if len(active) == 0 {
+		return nil
+	}
+	if !p.seeded {
+		p.cursor = p.rng.Intn(len(s.Apps))
+		p.seeded = true
+	}
+
+	if s.Report.Violation {
+		p.slackRun = 0
+		return p.onViolation(s, active)
+	}
+	if s.Report.Slack > s.SlackThreshold {
+		p.slackRun++
+		patience := p.SlackPatience
+		if patience < 1 {
+			patience = 1
+		}
+		if p.slackRun < patience {
+			return nil
+		}
+		p.slackRun = 0
+		return p.onSlack(s, active)
+	}
+	p.slackRun = 0
+	return nil // QoS met without excess slack: hold.
+}
+
+func (p *PliantPolicy) onViolation(s Snapshot, active []int) []Action {
+	// First pass: any app not yet at its most approximate variant is
+	// jumped there, one app per interval, round-robin.
+	if idx, ok := p.nextWhere(s, active, func(a AppView) bool {
+		return a.Variant < a.MostApproximate
+	}); ok {
+		return []Action{{Kind: SwitchVariant, App: idx, To: s.Apps[idx].MostApproximate}}
+	}
+	// All at most approximate: reclaim one core from one app, round-robin,
+	// respecting the per-app core floor.
+	if idx, ok := p.nextWhere(s, active, func(a AppView) bool {
+		return a.Cores > s.MinAppCores
+	}); ok {
+		p.yieldStack = append(p.yieldStack, idx)
+		return []Action{{Kind: ReclaimCore, App: idx}}
+	}
+	return nil // nothing left to actuate
+}
+
+func (p *PliantPolicy) onSlack(s Snapshot, active []int) []Action {
+	// Revert core reclamation first (the most recent action class), most
+	// recently penalized app first.
+	for len(p.yieldStack) > 0 {
+		idx := p.yieldStack[len(p.yieldStack)-1]
+		p.yieldStack = p.yieldStack[:len(p.yieldStack)-1]
+		if s.Apps[idx].Done || s.Apps[idx].YieldedCores == 0 {
+			continue // finished or already restored through other means
+		}
+		return []Action{{Kind: ReturnCore, App: idx}}
+	}
+	// Then step approximation back toward precise, one level on one app per
+	// interval, round-robin so no app is favored.
+	if idx, ok := p.nextWhere(s, active, func(a AppView) bool {
+		return a.Variant > 0
+	}); ok {
+		return []Action{{Kind: SwitchVariant, App: idx, To: s.Apps[idx].Variant - 1}}
+	}
+	return nil // everything precise at fair shares: steady state
+}
+
+// nextWhere scans apps round-robin from the cursor and returns the first
+// active app satisfying pred, advancing the cursor past it.
+func (p *PliantPolicy) nextWhere(s Snapshot, active []int, pred func(AppView) bool) (int, bool) {
+	n := len(s.Apps)
+	for k := 0; k < n; k++ {
+		idx := (p.cursor + k) % n
+		if s.Apps[idx].Done {
+			continue
+		}
+		if pred(s.Apps[idx]) {
+			p.cursor = (idx + 1) % n
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+// PrecisePolicy is the paper's baseline: a fair static allocation with every
+// application running precise; it never actuates.
+type PrecisePolicy struct{}
+
+// Name identifies the policy.
+func (PrecisePolicy) Name() string { return "precise" }
+
+// Decide never acts: the baseline runs open-loop.
+func (PrecisePolicy) Decide(Snapshot) []Action { return nil }
+
+// StaticApproxPolicy is an ablation: every application runs at its most
+// approximate variant from the start, with no core reallocation. It isolates
+// how much of Pliant's benefit comes from approximation alone versus
+// feedback control.
+type StaticApproxPolicy struct{}
+
+// Name identifies the policy.
+func (StaticApproxPolicy) Name() string { return "static-approx" }
+
+// Decide pins every app to its most approximate variant and does nothing
+// else.
+func (StaticApproxPolicy) Decide(s Snapshot) []Action {
+	var out []Action
+	for i, a := range s.Apps {
+		if !a.Done && a.Variant < a.MostApproximate {
+			out = append(out, Action{Kind: SwitchVariant, App: i, To: a.MostApproximate})
+		}
+	}
+	return out
+}

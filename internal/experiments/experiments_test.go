@@ -1,0 +1,375 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/approx-sched/pliant/internal/sim"
+)
+
+// tiny returns an aggressively scaled-down profile for unit tests; benches
+// and the cmd tools use Fast()/Full().
+func tiny() Profile {
+	p := Fast()
+	p.Name = "tiny"
+	p.Apps = []string{"canneal", "SNP", "Bayesian"}
+	p.CombosPerArity = 2
+	p.MaxRunSeconds = 10
+	return p
+}
+
+func TestProfiles(t *testing.T) {
+	if Fast().TimeScale <= Full().TimeScale {
+		t.Fatal("fast profile must scale time up")
+	}
+	if len(Full().AppNames()) != 24 {
+		t.Fatalf("full profile covers %d apps, want 24", len(Full().AppNames()))
+	}
+	if n := len(Fast().AppNames()); n == 0 || n > 24 {
+		t.Fatalf("fast profile covers %d apps", n)
+	}
+	// Derived seeds are stable and label-dependent.
+	p := Fast()
+	if p.seedFor("a") != p.seedFor("a") {
+		t.Fatal("seedFor not deterministic")
+	}
+	if p.seedFor("a") == p.seedFor("b") {
+		t.Fatal("seedFor collides across labels")
+	}
+}
+
+func TestForEachParallelAndErrors(t *testing.T) {
+	p := tiny()
+	p.Parallelism = 4
+	seen := make([]bool, 50)
+	if err := p.forEach(len(seen), func(i int) error {
+		seen[i] = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("index %d not visited", i)
+		}
+	}
+	// Errors surface (first one wins) without deadlocking the pool.
+	boom := errZ("boom")
+	if err := p.forEach(10, func(i int) error {
+		if i == 7 {
+			return boom
+		}
+		return nil
+	}); err == nil {
+		t.Fatal("error from worker not surfaced")
+	}
+	// Sequential path (n=1 workers).
+	p.Parallelism = 1
+	if err := p.forEach(3, func(int) error { return boom }); err != boom {
+		t.Fatalf("sequential error = %v", err)
+	}
+}
+
+type errZ string
+
+func (e errZ) Error() string { return string(e) }
+
+func TestTable1(t *testing.T) {
+	res, err := Table1(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	for _, want := range []string{"E5-2699", "22", "55 MB", "2400", "10Gbps"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig1DSE(t *testing.T) {
+	res, err := Fig1DSE(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Apps) != 3 {
+		t.Fatalf("apps = %d", len(res.Apps))
+	}
+	for _, a := range res.Apps {
+		if a.Examined == 0 || len(a.Selected) == 0 {
+			t.Errorf("%s: examined=%d selected=%d", a.Name, a.Examined, len(a.Selected))
+		}
+	}
+	if !strings.Contains(res.Render(), "canneal") {
+		t.Error("render missing app name")
+	}
+}
+
+func TestFig1Impact(t *testing.T) {
+	res, err := Fig1Impact(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 { // 3 apps × 3 services
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The paper's headline for Fig. 1: precise execution almost always
+	// leads to considerable QoS violations; approximation reduces the tail
+	// in aggregate.
+	if f := res.PreciseViolationFraction(); f < 0.8 {
+		t.Errorf("precise violated QoS for only %.0f%% of pairs, want almost always", f*100)
+	}
+	if imp := res.MostApproxImprovement(); imp <= 1.0 {
+		t.Errorf("most-approximate variants did not reduce tail latency (improvement %.2fx)", imp)
+	}
+	if !strings.Contains(res.Render(), "precise") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFig4Dynamic(t *testing.T) {
+	p := tiny()
+	res, err := Fig4Dynamic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 12 { // 3 services × 4 highlighted apps
+		t.Fatalf("cells = %d, want 12", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.P99OverQoS.Len() == 0 {
+			t.Errorf("%s+%s: empty trace", c.Service, c.App)
+		}
+		if c.Inaccuracy > 7 {
+			t.Errorf("%s+%s: inaccuracy %.1f%%", c.Service, c.App, c.Inaccuracy)
+		}
+	}
+	// Variant richness must match the paper's captions.
+	byApp := map[string]int{}
+	for _, c := range res.Cells {
+		byApp[c.App] = c.Variants
+	}
+	for app, want := range map[string]int{"canneal": 4, "raytrace": 2, "Bayesian": 8, "SNP": 5} {
+		if byApp[app] != want {
+			t.Errorf("%s: %d variants, paper reports %d", app, byApp[app], want)
+		}
+	}
+	if m := res.MeanInaccuracy(); m <= 0 || m > 6 {
+		t.Errorf("mean inaccuracy %.2f%% (paper: 2.7%%)", m)
+	}
+}
+
+func TestFig5Aggregate(t *testing.T) {
+	res, err := Fig5Aggregate(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		threshold := 1.0
+		if row.Service == "mongodb" {
+			threshold = 0.9 // marginal pairs sit at the criticality cliff
+		}
+		if row.PreciseP99OverQoS <= threshold {
+			t.Errorf("%s+%s: precise did not violate (%.2fx)", row.Service, row.App, row.PreciseP99OverQoS)
+		}
+		if row.PliantP99OverQoS > 1.15 {
+			t.Errorf("%s+%s: pliant steady p99 %.2fx QoS", row.Service, row.App, row.PliantP99OverQoS)
+		}
+		if row.Inaccuracy > 6 {
+			t.Errorf("%s+%s: inaccuracy %.1f%%", row.Service, row.App, row.Inaccuracy)
+		}
+	}
+	if m := res.MeanInaccuracy(); m <= 0 || m > 5 {
+		t.Errorf("mean inaccuracy %.2f%% (paper: 2.1%%)", m)
+	}
+	lo, hi := res.ViolationRange("nginx")
+	if lo <= 1 || hi <= lo {
+		t.Errorf("nginx precise violation range [%.2f, %.2f] implausible", lo, hi)
+	}
+	if !strings.Contains(res.Render(), "summary:") {
+		t.Error("render missing summary")
+	}
+}
+
+func TestFig6MultiApp(t *testing.T) {
+	res, err := Fig6MultiApp(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 3 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if len(c.Apps) != 2 {
+			t.Fatalf("%s: %d app traces", c.Service, len(c.Apps))
+		}
+	}
+	// Paper: no app sacrifices a disproportionate amount of accuracy.
+	if gap := res.BalancedPenalty(); gap > 5 {
+		t.Errorf("inaccuracy gap between colocated apps %.1f%%", gap)
+	}
+}
+
+func TestFig7Violin(t *testing.T) {
+	res, err := Fig7Violin(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 9 { // 3 services × arities 1..3
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	if !res.Sampled {
+		t.Error("tiny profile should sample combinations")
+	}
+	for _, c := range res.Cells {
+		if c.Runs == 0 {
+			t.Errorf("%s arity %d: no runs", c.Service, c.Arity)
+		}
+		if c.Inaccuracy.Max > 7 {
+			t.Errorf("%s arity %d: max inaccuracy %.1f%%", c.Service, c.Arity, c.Inaccuracy.Max)
+		}
+	}
+	if !strings.Contains(res.Render(), "violin") {
+		t.Error("render header missing")
+	}
+}
+
+func TestFig8LoadSweep(t *testing.T) {
+	p := tiny()
+	res, err := Fig8LoadSweep(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPoints := 3 * len(p.AppNames()) * len(Fig8Loads)
+	if len(res.Points) != wantPoints {
+		t.Fatalf("points = %d, want %d", len(res.Points), wantPoints)
+	}
+	// Light loads must meet QoS.
+	for _, pt := range res.Points {
+		if pt.Load <= 0.5 && pt.P99OverQoS > 1.1 {
+			t.Errorf("%s+%s at %.0f%%: p99 %.2fx QoS", pt.Service, pt.App, pt.Load*100, pt.P99OverQoS)
+		}
+	}
+	// Precise-only cliffs: the paper reports 48% (NGINX), 46% (memcached),
+	// 77% (MongoDB). Shape requirement: both CPU-bound services cliff well
+	// below MongoDB.
+	ng, mc, mg := res.PreciseCliff["nginx"], res.PreciseCliff["memcached"], res.PreciseCliff["mongodb"]
+	if ng >= mg || mc >= mg {
+		t.Errorf("precise cliffs: nginx %.0f%% memcached %.0f%% mongodb %.0f%%; want mongodb most tolerant",
+			ng*100, mc*100, mg*100)
+	}
+	if ng < 0.3 || ng > 0.7 {
+		t.Errorf("nginx precise cliff %.0f%%, paper reports 48%%", ng*100)
+	}
+}
+
+func TestFig9Interval(t *testing.T) {
+	res, err := Fig9Interval(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(Fig9Apps)*len(Fig9Intervals) {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// Paper: decision intervals of 1s or less satisfy QoS; coarser
+	// intervals leave prolonged violations.
+	fine := res.MeanP99At(sim.Second)
+	coarse := res.MeanP99At(8 * sim.Second)
+	if fine > 1.1 {
+		t.Errorf("1s interval mean p99 %.2fx QoS, want ≤~1", fine)
+	}
+	if coarse <= fine {
+		t.Errorf("8s interval (%.2fx) not worse than 1s (%.2fx)", coarse, fine)
+	}
+}
+
+func TestFig10Breakdown(t *testing.T) {
+	res, err := Fig10Breakdown(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, svc := range []string{"nginx", "memcached", "mongodb"} {
+		fr := r10sum(res.Fraction[svc])
+		if fr < 0.99 || fr > 1.01 {
+			t.Errorf("%s fractions sum to %.2f", svc, fr)
+		}
+		if res.Runs[svc] == 0 {
+			t.Errorf("%s: no runs", svc)
+		}
+	}
+	// Shape: memcached needs cores more often than mongodb (paper: \"unlike
+	// NGINX, memcached almost always requires at least one core\"; MongoDB
+	// is the most amenable).
+	if res.ApproxAloneFraction("memcached") > res.ApproxAloneFraction("mongodb") {
+		t.Errorf("memcached approx-alone %.2f > mongodb %.2f",
+			res.ApproxAloneFraction("memcached"), res.ApproxAloneFraction("mongodb"))
+	}
+}
+
+func r10sum(fr [5]float64) float64 {
+	s := 0.0
+	for _, v := range fr {
+		s += v
+	}
+	return s
+}
+
+func TestOverheadMatchesPaper(t *testing.T) {
+	p := Fast()
+	p.Apps = nil // all 24: the mean/max statistics are the point
+	res, err := Overhead(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 24 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Sec. 6.2: 3.8% average, 8.9% worst case.
+	if res.Mean < 0.03 || res.Mean > 0.05 {
+		t.Errorf("mean overhead %.3f, want ≈0.038", res.Mean)
+	}
+	if res.Max < 0.08 || res.Max > 0.10 {
+		t.Errorf("max overhead %.3f, want ≈0.089", res.Max)
+	}
+	for _, row := range res.Rows {
+		diff := row.Measured - row.Configured
+		if diff < -0.005 || diff > 0.005 {
+			t.Errorf("%s: measured %.3f vs configured %.3f", row.App, row.Measured, row.Configured)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 11 {
+		t.Fatalf("registry has %d entries", len(reg))
+	}
+	ids := map[string]bool{}
+	for _, e := range reg {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete entry %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	if _, err := ByID("table1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	// Registry entries run end to end (via the cheapest one).
+	e, _ := ByID("table1")
+	r, err := e.Run(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Render() == "" {
+		t.Fatal("empty render")
+	}
+}

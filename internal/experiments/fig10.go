@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/approx-sched/pliant/internal/colocate"
+	"github.com/approx-sched/pliant/internal/service"
+	"github.com/approx-sched/pliant/internal/sim"
+	"github.com/approx-sched/pliant/internal/stats"
+)
+
+// Fig10Bucket classifies one colocation run by the deepest intervention
+// Pliant needed: approximation alone, or 1/2/3/4+ reclaimed cores.
+type Fig10Bucket int
+
+// The buckets of the paper's Fig. 10 breakdown.
+const (
+	ApproxAlone Fig10Bucket = iota
+	OneCore
+	TwoCores
+	ThreeCores
+	FourPlusCores
+)
+
+// String names the bucket as the paper's legend does.
+func (b Fig10Bucket) String() string {
+	switch b {
+	case ApproxAlone:
+		return "Approx"
+	case OneCore:
+		return "1 core"
+	case TwoCores:
+		return "2 cores"
+	case ThreeCores:
+		return "3 cores"
+	default:
+		return "4 cores+"
+	}
+}
+
+// Fig10Result is the per-service breakdown of how often approximation alone
+// sufficed versus how many cores had to be reclaimed, across 1-, 2-, and
+// 3-app colocations.
+type Fig10Result struct {
+	// Fraction[svc][bucket] is the fraction of runs in the bucket.
+	Fraction map[string][5]float64
+	Runs     map[string]int
+}
+
+// Fig10Breakdown runs 1-, 2-, and 3-app mixes for each service and
+// classifies the deepest concurrent core reclamation of each run.
+func Fig10Breakdown(p Profile) (Fig10Result, error) {
+	classes := service.Classes()
+	names := p.AppNames()
+	rng := sim.NewRNG(p.seedFor("fig10/combos"))
+
+	// Build the mix list: all single apps plus sampled 2-/3-way mixes.
+	var mixes [][]string
+	for _, n := range names {
+		mixes = append(mixes, []string{n})
+	}
+	for arity := 2; arity <= 3; arity++ {
+		combos := enumerate(names, arity)
+		limit := p.CombosPerArity
+		if limit > 0 && len(combos) > limit {
+			rng.Shuffle(len(combos), func(i, j int) { combos[i], combos[j] = combos[j], combos[i] })
+			combos = combos[:limit]
+		}
+		mixes = append(mixes, combos...)
+	}
+
+	type task struct {
+		cls service.Class
+		mix []string
+	}
+	var tasks []task
+	for _, cls := range classes {
+		for _, m := range mixes {
+			tasks = append(tasks, task{cls, m})
+		}
+	}
+	buckets := make([]Fig10Bucket, len(tasks))
+	err := p.forEach(len(tasks), func(i int) error {
+		t := tasks[i]
+		cfg := colocate.Config{
+			Seed:      p.seedFor(fmt.Sprintf("fig10/%s/%s", t.cls, strings.Join(t.mix, "+"))),
+			Service:   t.cls,
+			AppNames:  t.mix,
+			Runtime:   colocate.Pliant,
+			TimeScale: p.TimeScale,
+		}
+		res, err := colocate.Run(cfg)
+		if err != nil {
+			return err
+		}
+		// Sustained total reclamation: per decision interval, sum the cores
+		// currently yielded across apps, then take the median over the run.
+		// The median (rather than the high-water mark) reflects what the
+		// colocation *needed* to hold QoS, ignoring the brief overshoot of
+		// the adaptation transients visible in Fig. 4.
+		sustained := 0
+		if n := res.Intervals; n > 0 {
+			totals := make([]float64, 0, n)
+			for idx := 0; idx < n; idx++ {
+				total := 0.0
+				for _, name := range t.mix {
+					s := res.Trace.Series("yielded." + name)
+					if idx < s.Len() {
+						total += s.Points[idx].V
+					}
+				}
+				totals = append(totals, total)
+			}
+			med := stats.Quantiles(totals, 0.5)[0]
+			sustained = int(med + 0.5)
+		}
+		switch {
+		case sustained == 0:
+			buckets[i] = ApproxAlone
+		case sustained == 1:
+			buckets[i] = OneCore
+		case sustained == 2:
+			buckets[i] = TwoCores
+		case sustained == 3:
+			buckets[i] = ThreeCores
+		default:
+			buckets[i] = FourPlusCores
+		}
+		return nil
+	})
+	if err != nil {
+		return Fig10Result{}, err
+	}
+
+	out := Fig10Result{Fraction: map[string][5]float64{}, Runs: map[string]int{}}
+	for _, cls := range classes {
+		name := cls.String()
+		var counts [5]int
+		total := 0
+		for i, t := range tasks {
+			if t.cls != cls {
+				continue
+			}
+			counts[buckets[i]]++
+			total++
+		}
+		var fr [5]float64
+		for b := range fr {
+			if total > 0 {
+				fr[b] = float64(counts[b]) / float64(total)
+			}
+		}
+		out.Fraction[name] = fr
+		out.Runs[name] = total
+	}
+	return out, nil
+}
+
+// Render prints the stacked-bar fractions per service.
+func (r Fig10Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 10: breakdown of approximation-alone vs core reclamation\n")
+	b.WriteString("  service     runs   Approx  1 core  2 cores 3 cores 4 cores+\n")
+	for _, svc := range []string{"nginx", "memcached", "mongodb"} {
+		fr := r.Fraction[svc]
+		fmt.Fprintf(&b, "  %-10s %5d   %5.0f%%  %5.0f%%  %5.0f%%  %5.0f%%  %5.0f%%\n",
+			svc, r.Runs[svc], fr[0]*100, fr[1]*100, fr[2]*100, fr[3]*100, fr[4]*100)
+	}
+	return b.String()
+}
+
+// ApproxAloneFraction returns the fraction of runs needing no reclaimed
+// cores for one service (paper: NGINX 33%; memcached almost never; MongoDB
+// the majority together with 1 core).
+func (r Fig10Result) ApproxAloneFraction(svc string) float64 {
+	return r.Fraction[svc][ApproxAlone]
+}

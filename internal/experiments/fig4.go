@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/approx-sched/pliant/internal/colocate"
+	"github.com/approx-sched/pliant/internal/service"
+	"github.com/approx-sched/pliant/internal/stats"
+)
+
+// Fig4Apps are the four approximate applications the paper highlights in its
+// dynamic-behavior study, chosen for their diverse resource requirements and
+// variant richness (canneal 4, raytrace 2, Bayesian 8, SNP 5).
+var Fig4Apps = []string{"canneal", "raytrace", "Bayesian", "SNP"}
+
+// Fig4Cell is one panel of the paper's Fig. 4: an interactive service
+// colocated with one approximate application under Pliant, traced over time.
+type Fig4Cell struct {
+	Service  string
+	App      string
+	Variants int // available approximate variants
+
+	// P99OverQoS, Yielded, and Variant are per-decision-interval series.
+	P99OverQoS *stats.Series
+	Yielded    *stats.Series
+	Variant    *stats.Series
+
+	ViolationFrac float64
+	ExecRelative  float64 // app execution time / nominal precise
+	Inaccuracy    float64
+	MaxYielded    int
+}
+
+// Fig4Result is the full 3×4 grid.
+type Fig4Result struct {
+	Cells []Fig4Cell
+}
+
+// Fig4Dynamic traces Pliant's dynamic behavior for each of the three
+// services colocated with each highlighted application.
+func Fig4Dynamic(p Profile) (Fig4Result, error) {
+	classes := service.Classes()
+	cells := make([]Fig4Cell, len(classes)*len(Fig4Apps))
+	err := p.forEach(len(cells), func(i int) error {
+		cls := classes[i/len(Fig4Apps)]
+		appName := Fig4Apps[i%len(Fig4Apps)]
+		cfg := colocate.Config{
+			Seed:      p.seedFor(fmt.Sprintf("fig4/%s/%s", cls, appName)),
+			Service:   cls,
+			AppNames:  []string{appName},
+			Runtime:   colocate.Pliant,
+			TimeScale: p.TimeScale,
+		}
+		res, err := colocate.Run(cfg)
+		if err != nil {
+			return err
+		}
+		a := res.Apps[0]
+		cells[i] = Fig4Cell{
+			Service:       cls.String(),
+			App:           appName,
+			Variants:      a.VariantMax,
+			P99OverQoS:    res.Trace.Series("p99"),
+			Yielded:       res.Trace.Series("yielded." + appName),
+			Variant:       res.Trace.Series("variant." + appName),
+			ViolationFrac: res.ViolationFrac,
+			ExecRelative:  a.RelNominal,
+			Inaccuracy:    a.Inaccuracy,
+			MaxYielded:    a.MaxYielded,
+		}
+		return nil
+	})
+	return Fig4Result{Cells: cells}, err
+}
+
+// Render prints each panel as a compact per-second trace.
+func (r Fig4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 4: Pliant dynamic behavior (per decision interval)\n")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "\n  %s + %s (%d approx) — viol %.0f%%, exec %.2fx, inacc %.1f%%, max cores yielded %d\n",
+			c.Service, c.App, c.Variants, c.ViolationFrac*100, c.ExecRelative, c.Inaccuracy, c.MaxYielded)
+		b.WriteString("    t(s)  p99/QoS  variant  yielded\n")
+		for i, pt := range c.P99OverQoS.Points {
+			fmt.Fprintf(&b, "    %4.0f  %7.2f  %7.0f  %7.0f\n",
+				pt.T, pt.V, c.Variant.Points[i].V, c.Yielded.Points[i].V)
+		}
+	}
+	return b.String()
+}
+
+// MeanInaccuracy reports the average quality loss across the panels (paper
+// Sec. 6.1: 2.7% for the Fig. 4 applications).
+func (r Fig4Result) MeanInaccuracy() float64 {
+	vals := make([]float64, 0, len(r.Cells))
+	for _, c := range r.Cells {
+		vals = append(vals, c.Inaccuracy)
+	}
+	return stats.Mean(vals)
+}

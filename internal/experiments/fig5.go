@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/approx-sched/pliant/internal/colocate"
+	"github.com/approx-sched/pliant/internal/service"
+	"github.com/approx-sched/pliant/internal/stats"
+)
+
+// Fig5Row is one (service, app) bar group of the paper's Fig. 5: precise vs
+// Pliant tail latency, the app's execution time relative to the precise
+// colocated run, its quality loss, and the instrumentation overhead whisker.
+type Fig5Row struct {
+	Service string
+	App     string
+
+	PreciseP99OverQoS float64
+	PliantP99OverQoS  float64
+
+	// ExecRelPrecise is the Pliant run's app execution time divided by the
+	// precise colocated run's (the paper's "Relative Execution Time"
+	// markers; 1.0 means nominal performance preserved).
+	ExecRelPrecise float64
+
+	Inaccuracy  float64 // marker label, percent
+	DynOverhead float64 // whisker, fraction
+}
+
+// Fig5Result is the full 3×24 comparison.
+type Fig5Result struct {
+	Rows []Fig5Row
+}
+
+// Fig5Aggregate runs the precise baseline and Pliant for every (service,
+// app) pair in the profile.
+func Fig5Aggregate(p Profile) (Fig5Result, error) {
+	apps := p.AppNames()
+	classes := service.Classes()
+	rows := make([]Fig5Row, len(apps)*len(classes))
+	err := p.forEach(len(rows), func(i int) error {
+		cls := classes[i/len(apps)]
+		appName := apps[i%len(apps)]
+		base := colocate.Config{
+			Seed:      p.seedFor(fmt.Sprintf("fig5/%s/%s", cls, appName)),
+			Service:   cls,
+			AppNames:  []string{appName},
+			TimeScale: p.TimeScale,
+		}
+
+		preciseCfg := base
+		preciseCfg.Runtime = colocate.Precise
+		precise, err := colocate.Run(preciseCfg)
+		if err != nil {
+			return err
+		}
+		pliantCfg := base
+		pliantCfg.Runtime = colocate.Pliant
+		pliant, err := colocate.Run(pliantCfg)
+		if err != nil {
+			return err
+		}
+
+		execRel := 0.0
+		if precise.Apps[0].ExecTime > 0 {
+			execRel = pliant.Apps[0].ExecTime.Seconds() / precise.Apps[0].ExecTime.Seconds()
+		}
+		rows[i] = Fig5Row{
+			Service:           cls.String(),
+			App:               appName,
+			PreciseP99OverQoS: precise.TypicalOverQoS(),
+			PliantP99OverQoS:  pliant.TypicalOverQoS(),
+			ExecRelPrecise:    execRel,
+			Inaccuracy:        pliant.Apps[0].Inaccuracy,
+			DynOverhead:       pliant.Apps[0].DynOverhead,
+		}
+		return nil
+	})
+	return Fig5Result{Rows: rows}, err
+}
+
+// Render prints the comparison grouped by service, in catalog order.
+func (r Fig5Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 5: precise vs Pliant across services and applications\n")
+	for _, svc := range []string{"nginx", "memcached", "mongodb"} {
+		fmt.Fprintf(&b, "\n  %s (p99 relative to QoS)\n", svc)
+		b.WriteString("    app               precise  pliant   execRel  inacc%  dynovh%\n")
+		for _, row := range r.Rows {
+			if row.Service != svc {
+				continue
+			}
+			fmt.Fprintf(&b, "    %-17s %s  %s  %6.2fx  %5.1f  %6.1f\n",
+				row.App, fmtRatio(row.PreciseP99OverQoS), fmtRatio(row.PliantP99OverQoS),
+				row.ExecRelPrecise, row.Inaccuracy, row.DynOverhead*100)
+		}
+	}
+	fmt.Fprintf(&b, "\n  summary: %s\n", r.Summary())
+	return b.String()
+}
+
+// Summary condenses the paper's headline claims for Fig. 5.
+func (r Fig5Result) Summary() string {
+	var (
+		preciseViol          = 0
+		pliantMeets          = 0
+		inaccs, execs, ratio []float64
+	)
+	for _, row := range r.Rows {
+		if row.PreciseP99OverQoS > 1 {
+			preciseViol++
+		}
+		if row.PliantP99OverQoS <= 1 {
+			pliantMeets++
+		}
+		inaccs = append(inaccs, row.Inaccuracy)
+		execs = append(execs, row.ExecRelPrecise)
+		ratio = append(ratio, row.PreciseP99OverQoS)
+	}
+	return fmt.Sprintf(
+		"precise violates %d/%d pairs (up to %.1fx QoS); pliant meets QoS on %d/%d; "+
+			"inaccuracy mean %.1f%% max %.1f%%; exec time mean %.2fx of precise",
+		preciseViol, len(r.Rows), stats.MaxOf(ratio),
+		pliantMeets, len(r.Rows),
+		stats.Mean(inaccs), stats.MaxOf(inaccs), stats.Mean(execs))
+}
+
+// ViolationRange returns the min and max precise-mode p99/QoS for one
+// service (paper: NGINX 2.1–9.8×, memcached 1.46–3.8×, MongoDB 2.08–5.91×).
+func (r Fig5Result) ViolationRange(svc string) (lo, hi float64) {
+	lo, hi = 0, 0
+	for _, row := range r.Rows {
+		if row.Service != svc {
+			continue
+		}
+		v := row.PreciseP99OverQoS
+		if lo == 0 || v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// MeanInaccuracy returns the average quality loss across all pairs (paper:
+// 2.1%).
+func (r Fig5Result) MeanInaccuracy() float64 {
+	vals := make([]float64, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		vals = append(vals, row.Inaccuracy)
+	}
+	return stats.Mean(vals)
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/approx-sched/pliant/internal/colocate"
+	"github.com/approx-sched/pliant/internal/service"
+	"github.com/approx-sched/pliant/internal/stats"
+)
+
+// Fig6Pair is the two-application colocation the paper traces: canneal and
+// Bayesian sharing a server with each interactive service.
+var Fig6Pair = []string{"canneal", "Bayesian"}
+
+// Fig6AppTrace is one stacked sub-panel of Fig. 6 (one approximate app).
+type Fig6AppTrace struct {
+	App        string
+	Variant    *stats.Series
+	Yielded    *stats.Series
+	Inaccuracy float64
+	ExecRel    float64
+	MaxYielded int
+}
+
+// Fig6Cell is one column of Fig. 6: a service with the two traced apps.
+type Fig6Cell struct {
+	Service       string
+	P99OverQoS    *stats.Series
+	ViolationFrac float64
+	Apps          []Fig6AppTrace
+}
+
+// Fig6Result is the three-service study.
+type Fig6Result struct {
+	Cells []Fig6Cell
+}
+
+// Fig6MultiApp traces Pliant managing two approximate applications at once
+// under each interactive service (paper Sec. 6.3).
+func Fig6MultiApp(p Profile) (Fig6Result, error) {
+	classes := service.Classes()
+	cells := make([]Fig6Cell, len(classes))
+	err := p.forEach(len(classes), func(i int) error {
+		cls := classes[i]
+		cfg := colocate.Config{
+			Seed:      p.seedFor(fmt.Sprintf("fig6/%s", cls)),
+			Service:   cls,
+			AppNames:  append([]string(nil), Fig6Pair...),
+			Runtime:   colocate.Pliant,
+			TimeScale: p.TimeScale,
+		}
+		res, err := colocate.Run(cfg)
+		if err != nil {
+			return err
+		}
+		cell := Fig6Cell{
+			Service:       cls.String(),
+			P99OverQoS:    res.Trace.Series("p99"),
+			ViolationFrac: res.ViolationFrac,
+		}
+		for _, a := range res.Apps {
+			cell.Apps = append(cell.Apps, Fig6AppTrace{
+				App:        a.Name,
+				Variant:    res.Trace.Series("variant." + a.Name),
+				Yielded:    res.Trace.Series("yielded." + a.Name),
+				Inaccuracy: a.Inaccuracy,
+				ExecRel:    a.RelFairShare,
+				MaxYielded: a.MaxYielded,
+			})
+		}
+		cells[i] = cell
+		return nil
+	})
+	return Fig6Result{Cells: cells}, err
+}
+
+// Render prints each column with both apps' per-interval state.
+func (r Fig6Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 6: Pliant managing two approximate applications (canneal + Bayesian)\n")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "\n  %s — viol %.0f%%\n", c.Service, c.ViolationFrac*100)
+		for _, a := range c.Apps {
+			fmt.Fprintf(&b, "    %-9s inacc %.1f%%, exec %.2fx, max yielded %d\n",
+				a.App, a.Inaccuracy, a.ExecRel, a.MaxYielded)
+		}
+		b.WriteString("    t(s)  p99/QoS")
+		for _, a := range c.Apps {
+			fmt.Fprintf(&b, "  %s(v,y)", a.App[:4])
+		}
+		b.WriteString("\n")
+		for i, pt := range c.P99OverQoS.Points {
+			fmt.Fprintf(&b, "    %4.0f  %7.2f", pt.T, pt.V)
+			for _, a := range c.Apps {
+				v, y := 0.0, 0.0
+				if i < a.Variant.Len() {
+					v = a.Variant.Points[i].V
+					y = a.Yielded.Points[i].V
+				}
+				fmt.Fprintf(&b, "   %3.0f,%2.0f", v, y)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// BalancedPenalty reports the largest cross-app inaccuracy gap per service —
+// the paper's claim that "no case where a single application sacrifices a
+// disproportionate amount of its accuracy".
+func (r Fig6Result) BalancedPenalty() float64 {
+	worst := 0.0
+	for _, c := range r.Cells {
+		if len(c.Apps) < 2 {
+			continue
+		}
+		var vals []float64
+		for _, a := range c.Apps {
+			vals = append(vals, a.Inaccuracy)
+		}
+		gap := stats.MaxOf(vals) - stats.MinOf(vals)
+		if gap > worst {
+			worst = gap
+		}
+	}
+	return worst
+}

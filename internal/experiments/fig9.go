@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/approx-sched/pliant/internal/colocate"
+	"github.com/approx-sched/pliant/internal/service"
+	"github.com/approx-sched/pliant/internal/sim"
+)
+
+// Fig9Intervals are the decision intervals swept by the paper's sensitivity
+// study (0.2 s to 8 s).
+var Fig9Intervals = []sim.Duration{
+	200 * sim.Millisecond,
+	sim.Second,
+	2 * sim.Second,
+	3 * sim.Second,
+	4 * sim.Second,
+	5 * sim.Second,
+	6 * sim.Second,
+	7 * sim.Second,
+	8 * sim.Second,
+}
+
+// Fig9Apps are the applications the paper shows for the decision-interval
+// study (the PARSEC and SPLASH-2 workloads, colocated with memcached).
+var Fig9Apps = []string{
+	"fluidanimate", "canneal", "raytrace", "water_nsquared", "water_spatial", "streamcluster",
+}
+
+// Fig9Point is one (app, interval) measurement with memcached.
+type Fig9Point struct {
+	App        string
+	Interval   sim.Duration
+	P99OverQoS float64
+	ExecRel    float64
+	Inaccuracy float64
+	Switches   uint64
+}
+
+// Fig9Result is the decision-interval sensitivity study.
+type Fig9Result struct {
+	Points []Fig9Point
+}
+
+// Fig9Interval sweeps Pliant's decision interval for memcached colocations.
+func Fig9Interval(p Profile) (Fig9Result, error) {
+	type task struct {
+		app      string
+		interval sim.Duration
+	}
+	var tasks []task
+	for _, a := range Fig9Apps {
+		for _, iv := range Fig9Intervals {
+			tasks = append(tasks, task{a, iv})
+		}
+	}
+	points := make([]Fig9Point, len(tasks))
+	err := p.forEach(len(tasks), func(i int) error {
+		t := tasks[i]
+		cfg := colocate.Config{
+			Seed:             p.seedFor(fmt.Sprintf("fig9/%s/%v", t.app, t.interval)),
+			Service:          service.Memcached,
+			AppNames:         []string{t.app},
+			Runtime:          colocate.Pliant,
+			DecisionInterval: t.interval,
+			TimeScale:        p.TimeScale,
+		}
+		res, err := colocate.Run(cfg)
+		if err != nil {
+			return err
+		}
+		points[i] = Fig9Point{
+			App:        t.app,
+			Interval:   t.interval,
+			P99OverQoS: res.TypicalOverQoS(),
+			ExecRel:    res.Apps[0].RelNominal,
+			Inaccuracy: res.Apps[0].Inaccuracy,
+			Switches:   res.Apps[0].Switches,
+		}
+		return nil
+	})
+	return Fig9Result{Points: points}, err
+}
+
+// Render prints per-app rows across intervals.
+func (r Fig9Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 9: decision-interval sensitivity (memcached)\n")
+	b.WriteString("  app               interval  p99/QoS  execRel  inacc%  switches\n")
+	for _, pt := range r.Points {
+		fmt.Fprintf(&b, "  %-17s %8v  %s  %6.2fx  %5.1f  %8d\n",
+			pt.App, pt.Interval, fmtRatio(pt.P99OverQoS), pt.ExecRel, pt.Inaccuracy, pt.Switches)
+	}
+	return b.String()
+}
+
+// MeanP99At averages p99/QoS across apps at one interval — the paper's
+// finding is that intervals above one second leave prolonged violations
+// while one second or less satisfies QoS.
+func (r Fig9Result) MeanP99At(interval sim.Duration) float64 {
+	sum, n := 0.0, 0
+	for _, pt := range r.Points {
+		if pt.Interval == interval {
+			sum += pt.P99OverQoS
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

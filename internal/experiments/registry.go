@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry describes one registered experiment.
+type Entry struct {
+	ID    string // short key, e.g. "fig5"
+	Title string
+	Run   func(Profile) (Renderer, error)
+}
+
+// Registry returns every experiment in presentation order, each mapped to
+// its paper table or figure.
+func Registry() []Entry {
+	return []Entry{
+		{"table1", "Table 1: platform specification", wrap(Table1)},
+		{"fig1dse", "Fig. 1 (odd rows): design-space exploration", wrap(Fig1DSE)},
+		{"fig1impact", "Fig. 1 (even rows): per-variant tail-latency impact", wrap(Fig1Impact)},
+		{"fig4", "Fig. 4: dynamic behavior", wrap(Fig4Dynamic)},
+		{"fig5", "Fig. 5: aggregate precise vs Pliant", wrap(Fig5Aggregate)},
+		{"fig6", "Fig. 6: multi-application colocations", wrap(Fig6MultiApp)},
+		{"fig7", "Fig. 7: colocation-arity violins", wrap(Fig7Violin)},
+		{"fig8", "Fig. 8: input-load sensitivity", wrap(Fig8LoadSweep)},
+		{"fig9", "Fig. 9: decision-interval sensitivity", wrap(Fig9Interval)},
+		{"fig10", "Fig. 10: approximation vs core-reclamation breakdown", wrap(Fig10Breakdown)},
+		{"overhead", "Sec. 6.2: instrumentation overhead", wrap(Overhead)},
+	}
+}
+
+// wrap adapts a concrete experiment function to the registry signature.
+func wrap[T Renderer](fn func(Profile) (T, error)) func(Profile) (Renderer, error) {
+	return func(p Profile) (Renderer, error) {
+		return fn(p)
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Entry, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range Registry() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Entry{}, fmt.Errorf("experiments: unknown id %q (known: %v)", id, ids)
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/approx-sched/pliant/internal/platform"
+)
+
+// Table1Result reproduces the paper's Table 1: the experimental platform
+// specification.
+type Table1Result struct {
+	Spec platform.Spec
+}
+
+// Table1 returns the platform specification table.
+func Table1(Profile) (Table1Result, error) {
+	return Table1Result{Spec: platform.TablePlatform()}, nil
+}
+
+// Render prints the specification in the paper's row order.
+func (r Table1Result) Render() string {
+	s := r.Spec
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Platform Specification\n")
+	rows := [][2]string{
+		{"Model", s.Name},
+		{"Sockets", fmt.Sprintf("%d", s.Sockets)},
+		{"Cores/Socket", fmt.Sprintf("%d", s.CoresPerSocket)},
+		{"Threads/Core", fmt.Sprintf("%d", s.ThreadsPerCore)},
+		{"Base/Max Turbo Frequency", fmt.Sprintf("%.1fGHz / %.1fGHz", s.BaseGHz, s.TurboGHz)},
+		{"L1 Inst/Data Cache", fmt.Sprintf("%d / %d KB", s.L1KB, s.L1KB)},
+		{"L2 Cache", fmt.Sprintf("%dKB", s.L2KB)},
+		{"L3 (Last-Level) Cache", fmt.Sprintf("%.0f MB, %d ways", s.LLCMB, s.LLCWays)},
+		{"Memory", fmt.Sprintf("%dGB total, %dMHz DDR4", s.MemoryGB, s.MemoryMHz)},
+		{"Disk", fmt.Sprintf("%.0fTB, %dRPM HDD", s.DiskTB, s.DiskRPM)},
+		{"Network Bandwidth", fmt.Sprintf("%.0fGbps", s.NetworkGbps)},
+		{"IRQ-dedicated cores", fmt.Sprintf("%d (Sec. 5)", s.IRQCores)},
+		{"Usable cores per socket", fmt.Sprintf("%d", s.UsableCores())},
+	}
+	for _, row := range rows {
+		fmt.Fprintf(&b, "  %-26s %s\n", row[0], row[1])
+	}
+	return b.String()
+}

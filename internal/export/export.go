@@ -1,0 +1,148 @@
+// Package export serializes scenario results and traces for downstream
+// analysis: JSON for programmatic consumers and CSV for plotting the paper's
+// figures (every dynamic-behavior panel is a time-indexed CSV away from a
+// gnuplot/matplotlib rendering).
+package export
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"github.com/approx-sched/pliant/internal/colocate"
+)
+
+// resultJSON is the stable wire form of a scenario result.
+type resultJSON struct {
+	Service         string          `json:"service"`
+	Runtime         string          `json:"runtime"`
+	QoSNanos        int64           `json:"qos_ns"`
+	OverallP99Nanos int64           `json:"overall_p99_ns"`
+	TypicalP99Nanos int64           `json:"typical_p99_ns"`
+	P99OverQoS      float64         `json:"p99_over_qos"`
+	TypicalOverQoS  float64         `json:"typical_over_qos"`
+	ViolationFrac   float64         `json:"violation_frac"`
+	Intervals       int             `json:"intervals"`
+	DurationNanos   int64           `json:"duration_ns"`
+	Served          uint64          `json:"served"`
+	Dropped         uint64          `json:"dropped"`
+	Apps            []appResultJSON `json:"apps"`
+}
+
+type appResultJSON struct {
+	Name          string  `json:"name"`
+	Done          bool    `json:"done"`
+	ExecTimeNanos int64   `json:"exec_time_ns"`
+	RelNominal    float64 `json:"rel_nominal"`
+	RelFairShare  float64 `json:"rel_fair_share"`
+	Inaccuracy    float64 `json:"inaccuracy_pct"`
+	FinalCores    int     `json:"final_cores"`
+	MaxYielded    int     `json:"max_yielded"`
+	Switches      uint64  `json:"switches"`
+	DynOverhead   float64 `json:"dyn_overhead"`
+}
+
+// WriteResultJSON writes a scenario result as a single JSON document.
+func WriteResultJSON(w io.Writer, res colocate.Result) error {
+	out := resultJSON{
+		Service:         res.Service,
+		Runtime:         res.Runtime,
+		QoSNanos:        int64(res.QoS),
+		OverallP99Nanos: int64(res.OverallP99),
+		TypicalP99Nanos: int64(res.TypicalP99),
+		P99OverQoS:      res.P99OverQoS(),
+		TypicalOverQoS:  res.TypicalOverQoS(),
+		ViolationFrac:   res.ViolationFrac,
+		Intervals:       res.Intervals,
+		DurationNanos:   int64(res.Duration),
+		Served:          res.Served,
+		Dropped:         res.Dropped,
+	}
+	for _, a := range res.Apps {
+		out.Apps = append(out.Apps, appResultJSON{
+			Name:          a.Name,
+			Done:          a.Done,
+			ExecTimeNanos: int64(a.ExecTime),
+			RelNominal:    a.RelNominal,
+			RelFairShare:  a.RelFairShare,
+			Inaccuracy:    a.Inaccuracy,
+			FinalCores:    a.FinalCores,
+			MaxYielded:    a.MaxYielded,
+			Switches:      a.Switches,
+			DynOverhead:   a.DynOverhead,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteTraceCSV writes the run's per-interval series as one CSV table:
+// a time column followed by one column per series, in a stable order
+// ("p99", "svc.cores", then remaining series alphabetically). Series are
+// sampled at the union of their timestamps with step-function semantics.
+func WriteTraceCSV(w io.Writer, res colocate.Result) error {
+	names := res.Trace.Names()
+	if len(names) == 0 {
+		return fmt.Errorf("export: empty trace")
+	}
+	ordered := orderSeries(names)
+
+	// Union of timestamps (they coincide at decision intervals, but be
+	// robust to series of different lengths, e.g. after early app exits).
+	tset := map[float64]bool{}
+	for _, n := range ordered {
+		for _, pt := range res.Trace.Series(n).Points {
+			tset[pt.T] = true
+		}
+	}
+	times := make([]float64, 0, len(tset))
+	for t := range tset {
+		times = append(times, t)
+	}
+	sort.Float64s(times)
+
+	cw := csv.NewWriter(w)
+	header := append([]string{"t_seconds"}, ordered...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for _, t := range times {
+		row[0] = strconv.FormatFloat(t, 'f', -1, 64)
+		for i, n := range ordered {
+			row[i+1] = strconv.FormatFloat(res.Trace.Series(n).At(t), 'f', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// orderSeries puts the headline series first and the rest alphabetically.
+func orderSeries(names []string) []string {
+	head := []string{"p99", "svc.cores"}
+	var rest []string
+	seen := map[string]bool{"p99": true, "svc.cores": true}
+	for _, n := range names {
+		if !seen[n] {
+			rest = append(rest, n)
+		}
+	}
+	sort.Strings(rest)
+	var out []string
+	for _, h := range head {
+		for _, n := range names {
+			if n == h {
+				out = append(out, h)
+				break
+			}
+		}
+	}
+	return append(out, rest...)
+}

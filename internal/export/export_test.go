@@ -1,0 +1,133 @@
+package export
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/approx-sched/pliant/internal/colocate"
+	"github.com/approx-sched/pliant/internal/service"
+	"github.com/approx-sched/pliant/internal/stats"
+)
+
+func sampleResult(t *testing.T) colocate.Result {
+	t.Helper()
+	res, err := colocate.Run(colocate.Config{
+		Seed:         1,
+		Service:      service.Memcached,
+		AppNames:     []string{"canneal"},
+		Runtime:      colocate.Pliant,
+		LoadFraction: 0.78,
+		TimeScale:    16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWriteResultJSON(t *testing.T) {
+	res := sampleResult(t)
+	var buf bytes.Buffer
+	if err := WriteResultJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if back["service"] != "memcached" || back["runtime"] != "pliant" {
+		t.Fatalf("identity fields: %v %v", back["service"], back["runtime"])
+	}
+	apps, ok := back["apps"].([]any)
+	if !ok || len(apps) != 1 {
+		t.Fatalf("apps: %v", back["apps"])
+	}
+	app0 := apps[0].(map[string]any)
+	if app0["name"] != "canneal" {
+		t.Fatalf("app name: %v", app0["name"])
+	}
+	if _, ok := app0["inaccuracy_pct"].(float64); !ok {
+		t.Fatal("inaccuracy missing")
+	}
+	// Ratios must be consistent with the nanosecond fields.
+	qos := back["qos_ns"].(float64)
+	typ := back["typical_p99_ns"].(float64)
+	ratio := back["typical_over_qos"].(float64)
+	if qos <= 0 || typ <= 0 {
+		t.Fatal("non-positive latency fields")
+	}
+	if diff := typ/qos - ratio; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("ratio inconsistency: %v vs %v", typ/qos, ratio)
+	}
+}
+
+func TestWriteTraceCSV(t *testing.T) {
+	res := sampleResult(t)
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != res.Intervals+1 {
+		t.Fatalf("rows = %d, want %d intervals + header", len(rows), res.Intervals)
+	}
+	header := rows[0]
+	if header[0] != "t_seconds" || header[1] != "p99" || header[2] != "svc.cores" {
+		t.Fatalf("header = %v", header)
+	}
+	found := false
+	for _, h := range header {
+		if h == "variant.canneal" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("per-app series missing from header %v", header)
+	}
+	// Times strictly increasing; all cells numeric.
+	prev := -1.0
+	for _, row := range rows[1:] {
+		tv, err := strconv.ParseFloat(row[0], 64)
+		if err != nil || tv <= prev {
+			t.Fatalf("bad time column: %v (%v)", row[0], err)
+		}
+		prev = tv
+		for _, cell := range row[1:] {
+			if _, err := strconv.ParseFloat(cell, 64); err != nil {
+				t.Fatalf("non-numeric cell %q", cell)
+			}
+		}
+	}
+}
+
+func TestWriteTraceCSVEmpty(t *testing.T) {
+	var res colocate.Result
+	res.Trace = stats.NewTrace()
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, res); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestJSONStableKeys(t *testing.T) {
+	res := sampleResult(t)
+	var buf bytes.Buffer
+	if err := WriteResultJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"\"qos_ns\"", "\"typical_p99_ns\"", "\"violation_frac\"",
+		"\"rel_fair_share\"", "\"max_yielded\"",
+	} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("JSON missing key %s", key)
+		}
+	}
+}

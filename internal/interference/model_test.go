@@ -1,0 +1,197 @@
+package interference
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/approx-sched/pliant/internal/platform"
+)
+
+// model returns an idealized proportional-sharing model (knee=1), under
+// which shortfall arithmetic is exact and easy to assert.
+func model(t *testing.T) *Model {
+	t.Helper()
+	m, err := NewWithKnee(platform.TablePlatform(), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewRejectsInvalidSpec(t *testing.T) {
+	bad := platform.TablePlatform()
+	bad.LLCMB = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("New accepted invalid spec")
+	}
+}
+
+func TestNewRejectsBadKnee(t *testing.T) {
+	for _, knee := range []float64{0, -0.5, 1.5} {
+		if _, err := NewWithKnee(platform.TablePlatform(), knee); err == nil {
+			t.Errorf("knee %v accepted", knee)
+		}
+	}
+}
+
+func TestKneeStartsContentionEarly(t *testing.T) {
+	m, err := New(platform.TablePlatform()) // default knee 0.75
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := m.Spec().LLCMB
+	// Demand at 90% of capacity: under proportional sharing there is no
+	// shortfall, but past the knee there is.
+	res := m.Evaluate([]Demand{
+		{Tenant: "a", LLCMB: cap * 0.9, Sensitivity: Sensitivity{LLC: 1}},
+	})
+	if got := res.Slowdown("a"); got <= 1.0 {
+		t.Fatalf("slowdown at 90%% occupancy = %v, want > 1 with knee", got)
+	}
+	// Demand below the knee: no contention.
+	res = m.Evaluate([]Demand{
+		{Tenant: "a", LLCMB: cap * 0.7, Sensitivity: Sensitivity{LLC: 1}},
+	})
+	if got := res.Slowdown("a"); got != 1.0 {
+		t.Fatalf("slowdown at 70%% occupancy = %v, want 1.0", got)
+	}
+}
+
+func TestNoContentionNoSlowdown(t *testing.T) {
+	m := model(t)
+	res := m.Evaluate([]Demand{
+		{Tenant: "svc", LLCMB: 10, MemBWGBs: 5, Sensitivity: Sensitivity{LLC: 2, MemBW: 2}},
+		{Tenant: "app", LLCMB: 10, MemBWGBs: 5, Sensitivity: Sensitivity{LLC: 1, MemBW: 1}},
+	})
+	if got := res.Slowdown("svc"); got != 1.0 {
+		t.Fatalf("uncontended svc slowdown = %v, want 1.0", got)
+	}
+	if got := res.Slowdown("app"); got != 1.0 {
+		t.Fatalf("uncontended app slowdown = %v, want 1.0", got)
+	}
+	if res.Pressure.LLCOvercommit != 0 || res.Pressure.BWOvercommit != 0 {
+		t.Fatalf("unexpected overcommit: %+v", res.Pressure)
+	}
+}
+
+func TestLLCOvercommitSlowsSensitiveTenant(t *testing.T) {
+	m := model(t)
+	// Combined demand 110MB on a 55MB LLC: each tenant gets half its demand.
+	res := m.Evaluate([]Demand{
+		{Tenant: "svc", LLCMB: 55, Sensitivity: Sensitivity{LLC: 2}},
+		{Tenant: "app", LLCMB: 55, Sensitivity: Sensitivity{LLC: 0.5}},
+	})
+	// Shortfall is 0.5 each; svc inflates by 1+2*0.5=2, app by 1.25.
+	if got := res.Slowdown("svc"); got != 2.0 {
+		t.Fatalf("svc slowdown = %v, want 2.0", got)
+	}
+	if got := res.Slowdown("app"); got != 1.25 {
+		t.Fatalf("app slowdown = %v, want 1.25", got)
+	}
+}
+
+func TestBWOvercommit(t *testing.T) {
+	m := model(t)
+	peak := m.Spec().MemBWGBs
+	res := m.Evaluate([]Demand{
+		{Tenant: "svc", MemBWGBs: peak, Sensitivity: Sensitivity{MemBW: 1}},
+		{Tenant: "app", MemBWGBs: peak, Sensitivity: Sensitivity{MemBW: 1}},
+	})
+	// Each gets half its demand: shortfall 0.5, slowdown 1.5.
+	if got := res.Slowdown("svc"); got != 1.5 {
+		t.Fatalf("svc slowdown = %v, want 1.5", got)
+	}
+	if res.Pressure.BWOvercommit != 1.0 {
+		t.Fatalf("BWOvercommit = %v, want 1.0", res.Pressure.BWOvercommit)
+	}
+}
+
+func TestZeroDemandTenantUnaffected(t *testing.T) {
+	m := model(t)
+	res := m.Evaluate([]Demand{
+		{Tenant: "idle", LLCMB: 0, MemBWGBs: 0, Sensitivity: Sensitivity{LLC: 5, MemBW: 5}},
+		{Tenant: "hog1", LLCMB: 60, MemBWGBs: 80, Sensitivity: Sensitivity{LLC: 1, MemBW: 1}},
+		{Tenant: "hog2", LLCMB: 60, MemBWGBs: 80, Sensitivity: Sensitivity{LLC: 1, MemBW: 1}},
+	})
+	// A tenant that touches neither resource can't be slowed by them.
+	if got := res.Slowdown("idle"); got != 1.0 {
+		t.Fatalf("idle slowdown = %v, want 1.0", got)
+	}
+	if res.Slowdown("hog1") <= 1.0 {
+		t.Fatal("contending tenant not slowed")
+	}
+}
+
+func TestUnknownTenantDefaultsToOne(t *testing.T) {
+	m := model(t)
+	res := m.Evaluate(nil)
+	if res.Slowdown("ghost") != 1.0 {
+		t.Fatal("unknown tenant should have slowdown 1.0")
+	}
+}
+
+func TestNegativeDemandClamped(t *testing.T) {
+	m := model(t)
+	res := m.Evaluate([]Demand{
+		{Tenant: "weird", LLCMB: -10, MemBWGBs: -10, Sensitivity: Sensitivity{LLC: 1, MemBW: 1}},
+	})
+	if res.Pressure.LLCDemandMB != 0 || res.Pressure.BWDemandGBs != 0 {
+		t.Fatalf("negative demand leaked into pressure: %+v", res.Pressure)
+	}
+	if res.Slowdown("weird") != 1.0 {
+		t.Fatal("negative demand produced slowdown")
+	}
+}
+
+func TestReducingDemandReducesSlowdown(t *testing.T) {
+	// The core premise of Pliant: approximation reduces traffic, which must
+	// monotonically reduce the victim's slowdown.
+	m := model(t)
+	sens := Sensitivity{LLC: 1.5, MemBW: 1.2}
+	victim := Demand{Tenant: "svc", LLCMB: 20, MemBWGBs: 10, Sensitivity: sens}
+	prev := 1e18
+	for bw := 120.0; bw >= 0; bw -= 20 {
+		res := m.Evaluate([]Demand{victim, {Tenant: "app", LLCMB: 80, MemBWGBs: bw, Sensitivity: Sensitivity{LLC: 0.5, MemBW: 0.5}}})
+		s := res.Slowdown("svc")
+		if s > prev {
+			t.Fatalf("slowdown not monotone in co-runner bandwidth: %v after %v", s, prev)
+		}
+		prev = s
+	}
+}
+
+// Property: slowdowns are always >= 1 and finite, for arbitrary demands.
+func TestSlowdownBoundsProperty(t *testing.T) {
+	m := model(t)
+	f := func(llc1, bw1, llc2, bw2 uint16, sLLC, sBW uint8) bool {
+		res := m.Evaluate([]Demand{
+			{Tenant: "a", LLCMB: float64(llc1), MemBWGBs: float64(bw1),
+				Sensitivity: Sensitivity{LLC: float64(sLLC) / 16, MemBW: float64(sBW) / 16}},
+			{Tenant: "b", LLCMB: float64(llc2), MemBWGBs: float64(bw2),
+				Sensitivity: Sensitivity{LLC: 1, MemBW: 1}},
+		})
+		for _, id := range []platform.TenantID{"a", "b"} {
+			s := res.Slowdown(id)
+			if s < 1 || s != s /* NaN */ {
+				return false
+			}
+			// Shortfall fractions are < 1, so slowdown < 1 + sLLC + sBW.
+			if id == "b" && s >= 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPressureString(t *testing.T) {
+	m := model(t)
+	res := m.Evaluate([]Demand{{Tenant: "x", LLCMB: 100, MemBWGBs: 100}})
+	if !strings.Contains(res.Pressure.String(), "llc=") {
+		t.Fatalf("Pressure.String() = %q", res.Pressure.String())
+	}
+}

@@ -1,0 +1,214 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTablePlatformMatchesPaper(t *testing.T) {
+	s := TablePlatform()
+	// Table 1 of the paper.
+	if s.Sockets != 2 {
+		t.Errorf("Sockets = %d, want 2", s.Sockets)
+	}
+	if s.CoresPerSocket != 22 {
+		t.Errorf("CoresPerSocket = %d, want 22", s.CoresPerSocket)
+	}
+	if s.ThreadsPerCore != 2 {
+		t.Errorf("ThreadsPerCore = %d, want 2", s.ThreadsPerCore)
+	}
+	if s.BaseGHz != 2.2 || s.TurboGHz != 3.6 {
+		t.Errorf("frequency = %v/%v, want 2.2/3.6", s.BaseGHz, s.TurboGHz)
+	}
+	if s.LLCMB != 55 || s.LLCWays != 20 {
+		t.Errorf("LLC = %vMB/%d-way, want 55MB/20-way", s.LLCMB, s.LLCWays)
+	}
+	if s.MemoryGB != 128 || s.MemoryMHz != 2400 {
+		t.Errorf("memory = %dGB@%d, want 128GB@2400", s.MemoryGB, s.MemoryMHz)
+	}
+	if s.NetworkGbps != 10 {
+		t.Errorf("network = %v, want 10Gbps", s.NetworkGbps)
+	}
+	if s.IRQCores != 6 {
+		t.Errorf("IRQCores = %d, want 6 (paper Sec. 5)", s.IRQCores)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Table 1 platform invalid: %v", err)
+	}
+	if s.UsableCores() != 16 {
+		t.Errorf("UsableCores = %d, want 22-6=16", s.UsableCores())
+	}
+}
+
+func TestSmallPlatformValid(t *testing.T) {
+	s := SmallPlatform()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.UsableCores() <= 0 {
+		t.Fatal("small platform has no usable cores")
+	}
+	if s.UsableCores() >= TablePlatform().UsableCores() {
+		t.Fatal("small platform should be smaller than the paper platform")
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	base := TablePlatform()
+	cases := map[string]func(*Spec){
+		"no sockets":   func(s *Spec) { s.Sockets = 0 },
+		"no cores":     func(s *Spec) { s.CoresPerSocket = 0 },
+		"irq negative": func(s *Spec) { s.IRQCores = -1 },
+		"irq all":      func(s *Spec) { s.IRQCores = s.CoresPerSocket },
+		"no llc":       func(s *Spec) { s.LLCMB = 0 },
+		"no bw":        func(s *Spec) { s.MemBWGBs = 0 },
+	}
+	for name, mutate := range cases {
+		s := base
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid spec", name)
+		}
+	}
+}
+
+func TestAllocationGrantRevoke(t *testing.T) {
+	a, err := NewAllocation(TablePlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := a.Spec().UsableCores()
+	if a.Free() != total {
+		t.Fatalf("Free = %d, want %d", a.Free(), total)
+	}
+	if err := a.Grant("svc", 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Grant("app", 8); err != nil {
+		t.Fatal(err)
+	}
+	if a.Cores("svc") != 8 || a.Cores("app") != 8 {
+		t.Fatalf("cores: svc=%d app=%d", a.Cores("svc"), a.Cores("app"))
+	}
+	if a.Free() != total-16 {
+		t.Fatalf("Free = %d", a.Free())
+	}
+	if err := a.Grant("x", a.Free()+1); err == nil {
+		t.Fatal("overcommitting grant succeeded")
+	}
+	if err := a.Revoke("app", 3); err != nil {
+		t.Fatal(err)
+	}
+	if a.Cores("app") != 5 {
+		t.Fatalf("app cores = %d, want 5", a.Cores("app"))
+	}
+	if err := a.Revoke("app", 6); err == nil {
+		t.Fatal("over-revoke succeeded")
+	}
+	if err := a.Revoke("app", -1); err == nil {
+		t.Fatal("negative revoke succeeded")
+	}
+	if err := a.Grant("app", -1); err == nil {
+		t.Fatal("negative grant succeeded")
+	}
+}
+
+func TestAllocationMove(t *testing.T) {
+	a, _ := NewAllocation(TablePlatform())
+	if err := a.FairShare("svc", "app"); err != nil {
+		t.Fatal(err)
+	}
+	before := a.Cores("svc") + a.Cores("app")
+	if err := a.Move("app", "svc", 1); err != nil {
+		t.Fatal(err)
+	}
+	if a.Cores("svc")+a.Cores("app") != before {
+		t.Fatal("Move changed total core count")
+	}
+	if err := a.Move("app", "svc", 1000); err == nil {
+		t.Fatal("impossible Move succeeded")
+	}
+}
+
+func TestFairShare(t *testing.T) {
+	a, _ := NewAllocation(TablePlatform())
+	if err := a.FairShare("svc", "a1", "a2"); err != nil {
+		t.Fatal(err)
+	}
+	total := a.Spec().UsableCores()
+	sum := 0
+	counts := []int{a.Cores("svc"), a.Cores("a1"), a.Cores("a2")}
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != total {
+		t.Fatalf("fair share sums to %d, want %d", sum, total)
+	}
+	// No tenant differs from another by more than one core.
+	for _, c := range counts {
+		if c < total/3 || c > total/3+1 {
+			t.Fatalf("unfair share: %v", counts)
+		}
+	}
+	if a.Free() != 0 {
+		t.Fatalf("Free = %d after fair share", a.Free())
+	}
+	if err := a.FairShare(); err == nil {
+		t.Fatal("FairShare with no tenants succeeded")
+	}
+	if err := a.FairShare("x", "x"); err == nil {
+		t.Fatal("FairShare with duplicate tenants succeeded")
+	}
+}
+
+func TestTenantsOrderAndSnapshot(t *testing.T) {
+	a, _ := NewAllocation(TablePlatform())
+	_ = a.Grant("b", 1)
+	_ = a.Grant("a", 2)
+	ts := a.Tenants()
+	if len(ts) != 2 || ts[0] != "b" || ts[1] != "a" {
+		t.Fatalf("Tenants = %v, want registration order [b a]", ts)
+	}
+	snap := a.Snapshot()
+	snap["b"] = 99
+	if a.Cores("b") != 1 {
+		t.Fatal("Snapshot aliases internal state")
+	}
+	if !strings.Contains(a.String(), "free=") {
+		t.Fatalf("String() = %q", a.String())
+	}
+}
+
+// Property: any sequence of grants/revokes keeps 0 <= used <= usable and
+// per-tenant counts non-negative.
+func TestAllocationInvariantProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		a, _ := NewAllocation(SmallPlatform())
+		tenants := []TenantID{"s", "x", "y"}
+		for _, op := range ops {
+			t := tenants[int(op)%len(tenants)]
+			n := int(op/16)%4 + 1
+			if op%2 == 0 {
+				_ = a.Grant(t, n) // errors allowed; invariants must hold regardless
+			} else {
+				_ = a.Revoke(t, n)
+			}
+			used := 0
+			for _, id := range tenants {
+				c := a.Cores(id)
+				if c < 0 {
+					return false
+				}
+				used += c
+			}
+			if used > a.Spec().UsableCores() || a.Free() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+package service
+
+import (
+	"fmt"
+
+	"github.com/approx-sched/pliant/internal/interference"
+	"github.com/approx-sched/pliant/internal/sim"
+	"github.com/approx-sched/pliant/internal/workload"
+)
+
+// Class names the three interactive services evaluated in the paper.
+type Class int
+
+// The paper's three latency-critical services.
+const (
+	NGINX Class = iota
+	Memcached
+	MongoDB
+)
+
+// Classes lists all service classes in presentation order.
+func Classes() []Class { return []Class{NGINX, Memcached, MongoDB} }
+
+// String returns the lowercase service name used in the paper's figures.
+func (c Class) String() string {
+	switch c {
+	case NGINX:
+		return "nginx"
+	case Memcached:
+		return "memcached"
+	case MongoDB:
+		return "mongodb"
+	default:
+		return fmt.Sprintf("service(%d)", int(c))
+	}
+}
+
+// Preset returns the calibrated model for a service class.
+//
+// Calibration targets (paper Secs. 5–6, at a fair 8-core share of the Table 1
+// socket, ~75–80% of saturation):
+//
+//   - NGINX: front-end webserver, 1KB static files. QoS 10 ms (SLA-style,
+//     far above its uncontended p99); under precise colocation its queue
+//     runs away and p99 lands at 2.1–9.8× QoS, bounded by the listen
+//     backlog.
+//   - memcached: in-memory KV store, 30B/200B items. QoS 200 µs, only
+//     ~1.5–2× its isolated p99 — so even mild interference violates it
+//     (paper: memcached almost always needs a reclaimed core).
+//   - MongoDB: persistent NoSQL store, 178 GB dataset on spinning disk.
+//     Requests mostly occupy workers in disk waits that contention cannot
+//     inflate, so sensitivity is low; QoS 100 ms.
+func Preset(c Class) Config {
+	switch c {
+	case NGINX:
+		return Config{
+			Name: "nginx",
+			QoS:  10 * sim.Millisecond,
+			// Median 8 µs with a heavy lognormal tail: mean ≈ 11 µs, so an
+			// 8-core share saturates near 727K QPS (paper Fig. 8 sweeps
+			// 300–700K).
+			Demand:          workload.LogNormal{Median: 8e-6, Sigma: 0.8},
+			WorkersPerCore:  1,
+			ContentionShare: 1.0,
+			Sensitivity:     interference.Sensitivity{LLC: 1.6, MemBW: 1.1},
+			// Connection state, TLS buffers, and the hot content set give
+			// the front-end webserver a sizable cache footprint of its own.
+			LLCMB:        20,
+			BWPerCoreGBs: 1.2,
+			// Listen backlog: bounds runaway sojourn near 10× QoS once
+			// contention inflation is applied on top.
+			MaxBacklog: 50 * sim.Millisecond,
+		}
+	case Memcached:
+		return Config{
+			Name: "memcached",
+			QoS:  200 * sim.Microsecond,
+			// Median 10 µs with a heavy tail (σ=1): mean ≈ 16.5 µs, so 8
+			// cores saturate near 485K QPS (paper Fig. 8 sweeps 300–600K).
+			// The heavy tail leaves the isolated p99 within ~15%% of the
+			// 200 µs QoS — the strict budget that makes memcached the most
+			// interference-sensitive of the three services (Sec. 6.1).
+			Demand:          workload.LogNormal{Median: 10e-6, Sigma: 1.15},
+			WorkersPerCore:  1,
+			ContentionShare: 1.0,
+			Sensitivity:     interference.Sensitivity{LLC: 0.55, MemBW: 0.45},
+			// 5M × 230B dataset: the hot slice alone overflows any LLC
+			// share, so its cache demand is large.
+			LLCMB:        24,
+			BWPerCoreGBs: 1.6,
+			// Small effective backlog (pipelined connections): bounds
+			// sojourn near 3.5× QoS in sustained overload, with transient
+			// spikes beyond (paper Fig. 4 annotations).
+			MaxBacklog: 700 * sim.Microsecond,
+		}
+	case MongoDB:
+		return Config{
+			Name: "mongodb",
+			QoS:  100 * sim.Millisecond,
+			// 45% in-memory hits (median 2 ms), 55% disk-bound requests
+			// (median 30 ms, p99 ≈ 76 ms): worker-occupancy mean ≈ 19 ms,
+			// saturating near 420 QPS on 8 worker-cores (paper Fig. 8
+			// sweeps 100–400 QPS).
+			Demand: workload.Bimodal{
+				Light:  workload.LogNormal{Median: 2e-3, Sigma: 0.5},
+				Heavy:  workload.LogNormal{Median: 33e-3, Sigma: 0.4},
+				PHeavy: 0.55,
+			},
+			WorkersPerCore: 1,
+			// Only the CPU execution share of a request inflates under
+			// cache/bandwidth pressure; disk waits do not.
+			ContentionShare: 0.35,
+			Sensitivity:     interference.Sensitivity{LLC: 2.0, MemBW: 1.4},
+			LLCMB:           18,
+			BWPerCoreGBs:    0.8,
+			MaxBacklog:      400 * sim.Millisecond,
+		}
+	default:
+		panic(fmt.Sprintf("service: unknown class %d", int(c)))
+	}
+}
+
+// QoSOf returns the paper's QoS target for a class (Fig. 5 caption: 10 ms,
+// 200 µs, 100 ms).
+func QoSOf(c Class) sim.Duration { return Preset(c).QoS }

@@ -1,0 +1,275 @@
+// Package service models latency-critical interactive services as M/G/k
+// queueing systems whose per-request service demand is inflated by
+// shared-resource contention. It provides calibrated presets for the three
+// services the paper evaluates — NGINX, memcached, and MongoDB — and exposes
+// exactly the control surface Pliant uses on real systems: the number of
+// cores allocated to the service, and end-to-end latency observed at the
+// client.
+package service
+
+import (
+	"fmt"
+
+	"github.com/approx-sched/pliant/internal/interference"
+	"github.com/approx-sched/pliant/internal/platform"
+	"github.com/approx-sched/pliant/internal/sim"
+	"github.com/approx-sched/pliant/internal/workload"
+)
+
+// Config describes an interactive service model.
+type Config struct {
+	Name string
+
+	// QoS is the 99th-percentile latency target (paper Sec. 5: the p99
+	// before the knee of the latency-throughput curve in isolation).
+	QoS sim.Duration
+
+	// Demand samples per-request worker occupancy in seconds at nominal
+	// (uncontended) execution.
+	Demand workload.Sampler
+
+	// WorkersPerCore is how many request-serving workers each allocated
+	// core multiplexes. CPU-bound services (NGINX, memcached) pin one
+	// worker per core; I/O-bound services (MongoDB) overlap many blocked
+	// threads per core.
+	WorkersPerCore int
+
+	// ContentionShare is the fraction of request demand that is CPU/memory
+	// execution subject to interference slowdown; the remainder (e.g.,
+	// disk time) is unaffected by cache and bandwidth pressure.
+	ContentionShare float64
+
+	// Sensitivity converts shared-resource shortfall into execution-time
+	// inflation for the contention-exposed part of each request.
+	Sensitivity interference.Sensitivity
+
+	// LLCMB is the service's working-set pressure on the shared LLC and
+	// BWPerCoreGBs its memory-bandwidth demand per busy core.
+	LLCMB        float64
+	BWPerCoreGBs float64
+
+	// MaxBacklog bounds the pending-request queue in time units: the queue
+	// holds at most the requests a full-speed server would clear in this
+	// span. It mirrors the listen backlogs and connection limits of real
+	// servers, which bound runaway sojourn times under overload; past it,
+	// requests are dropped and accounted as worst-case latency samples.
+	MaxBacklog sim.Duration
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Name == "":
+		return fmt.Errorf("service: missing name")
+	case c.QoS <= 0:
+		return fmt.Errorf("service %s: QoS must be positive", c.Name)
+	case c.Demand == nil:
+		return fmt.Errorf("service %s: missing demand sampler", c.Name)
+	case c.WorkersPerCore <= 0:
+		return fmt.Errorf("service %s: workers per core must be positive", c.Name)
+	case c.ContentionShare < 0 || c.ContentionShare > 1:
+		return fmt.Errorf("service %s: contention share %v outside [0,1]", c.Name, c.ContentionShare)
+	case c.MaxBacklog <= 0:
+		return fmt.Errorf("service %s: max backlog must be positive", c.Name)
+	}
+	return nil
+}
+
+// Scaled returns a copy of the config with request timescales multiplied by
+// f (demand and QoS together). Queueing behaviour relative to QoS is
+// invariant under this scaling — utilization, tail ratios, and divergence
+// rates are dimensionless — so the fast test profile uses f>1 to simulate
+// proportionally fewer requests.
+func (c Config) Scaled(f float64) Config {
+	out := c
+	out.QoS = c.QoS.Scale(f)
+	out.MaxBacklog = c.MaxBacklog.Scale(f)
+	out.Demand = scaledSampler{inner: c.Demand, f: f}
+	return out
+}
+
+type scaledSampler struct {
+	inner workload.Sampler
+	f     float64
+}
+
+func (s scaledSampler) Sample(rng *sim.RNG) float64 { return s.inner.Sample(rng) * s.f }
+func (s scaledSampler) Mean() float64               { return s.inner.Mean() * s.f }
+
+// SaturationQPS returns the analytic saturation throughput at the given core
+// count: workers divided by mean demand.
+func (c Config) SaturationQPS(cores int) float64 {
+	w := float64(cores * c.WorkersPerCore)
+	return w / c.Demand.Mean()
+}
+
+// Instance is a running service inside a simulation.
+type Instance struct {
+	cfg Config
+	eng *sim.Engine
+	rng *sim.RNG
+
+	cores    int
+	slowdown float64
+
+	busy  int
+	queue []pendingRequest
+
+	onLatency func(sim.Duration)
+
+	served  uint64
+	dropped uint64
+}
+
+type pendingRequest struct {
+	arrived sim.Time
+	demand  float64 // seconds, nominal
+}
+
+// New creates a service instance bound to an engine. The latency callback
+// fires once per completed (or dropped) request with its end-to-end latency;
+// it stands in for the client-side measurement point of the paper's monitor.
+func New(eng *sim.Engine, rng *sim.RNG, cfg Config, cores int, onLatency func(sim.Duration)) (*Instance, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cores <= 0 {
+		return nil, fmt.Errorf("service %s: needs at least one core", cfg.Name)
+	}
+	if onLatency == nil {
+		onLatency = func(sim.Duration) {}
+	}
+	return &Instance{
+		cfg:       cfg,
+		eng:       eng,
+		rng:       rng,
+		cores:     cores,
+		slowdown:  1.0,
+		onLatency: onLatency,
+	}, nil
+}
+
+// Config returns the service configuration.
+func (s *Instance) Config() Config { return s.cfg }
+
+// Cores returns the current core allocation.
+func (s *Instance) Cores() int { return s.cores }
+
+// Served returns the number of completed requests.
+func (s *Instance) Served() uint64 { return s.served }
+
+// Dropped returns the number of requests rejected at the queue cap.
+func (s *Instance) Dropped() uint64 { return s.dropped }
+
+// QueueLen returns the number of requests waiting (not in service).
+func (s *Instance) QueueLen() int { return len(s.queue) }
+
+// workers returns the current number of request-serving workers.
+func (s *Instance) workers() int { return s.cores * s.cfg.WorkersPerCore }
+
+// SetCores changes the core allocation. Extra cores immediately begin
+// draining the queue; removed cores take effect as in-flight requests finish
+// (a running request is never aborted, matching cpuset repinning semantics).
+func (s *Instance) SetCores(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.cores = n
+	s.drainQueue()
+}
+
+// SetSlowdown updates the contention inflation applied to the CPU-exposed
+// share of subsequently started requests.
+func (s *Instance) SetSlowdown(f float64) {
+	if f < 1 {
+		f = 1
+	}
+	s.slowdown = f
+}
+
+// Slowdown returns the current contention inflation factor.
+func (s *Instance) Slowdown() float64 { return s.slowdown }
+
+// queueCap returns the backlog bound in requests: the number of requests the
+// current worker pool clears in MaxBacklog at nominal speed.
+func (s *Instance) queueCap() int {
+	cap := int(s.cfg.MaxBacklog.Seconds() / s.cfg.Demand.Mean() * float64(s.workers()))
+	if cap < 4 {
+		cap = 4
+	}
+	return cap
+}
+
+// Arrive submits one request to the service at the current simulation time.
+func (s *Instance) Arrive() {
+	req := pendingRequest{arrived: s.eng.Now(), demand: s.cfg.Demand.Sample(s.rng)}
+	if s.busy < s.workers() {
+		s.start(req)
+		return
+	}
+	if len(s.queue) >= s.queueCap() {
+		// Queue overflow: the request is turned away. Count it as a
+		// worst-case latency observation — an estimate of the sojourn it
+		// would have seen — so the p99 reflects the overload instead of
+		// silently dropping the slowest tail.
+		s.dropped++
+		est := s.estimatedSojourn()
+		s.onLatency(est)
+		return
+	}
+	s.queue = append(s.queue, req)
+}
+
+// estimatedSojourn approximates the latency a request joining the full queue
+// would experience: queue length times mean inflated demand over workers.
+func (s *Instance) estimatedSojourn() sim.Duration {
+	meanDemand := s.cfg.Demand.Mean() * s.effectiveInflation()
+	perWorker := float64(len(s.queue)+s.busy) * meanDemand / float64(s.workers())
+	return sim.DurationOf(perWorker)
+}
+
+func (s *Instance) effectiveInflation() float64 {
+	return 1 - s.cfg.ContentionShare + s.cfg.ContentionShare*s.slowdown
+}
+
+func (s *Instance) start(req pendingRequest) {
+	s.busy++
+	serviceTime := sim.DurationOf(req.demand * s.effectiveInflation())
+	if serviceTime <= 0 {
+		serviceTime = 1
+	}
+	s.eng.After(serviceTime, func() { s.complete(req) })
+}
+
+func (s *Instance) complete(req pendingRequest) {
+	s.busy--
+	s.served++
+	s.onLatency(s.eng.Now().Sub(req.arrived))
+	s.drainQueue()
+}
+
+func (s *Instance) drainQueue() {
+	for s.busy < s.workers() && len(s.queue) > 0 {
+		req := s.queue[0]
+		s.queue = s.queue[1:]
+		if len(s.queue) == 0 {
+			s.queue = nil // release backing array after bursts
+		}
+		s.start(req)
+	}
+}
+
+// Demand reports the service's current pressure on shared resources for the
+// interference model: full working-set LLC pressure, and bandwidth
+// proportional to allocated cores at the service's typical utilization.
+// Allocated (not instantaneously busy) cores are used so the demand is a
+// stable per-interval quantity, the granularity at which the contention
+// model is evaluated.
+func (s *Instance) Demand(tenant platform.TenantID) interference.Demand {
+	return interference.Demand{
+		Tenant:      tenant,
+		LLCMB:       s.cfg.LLCMB,
+		MemBWGBs:    s.cfg.BWPerCoreGBs * float64(s.cores),
+		Sensitivity: s.cfg.Sensitivity,
+	}
+}

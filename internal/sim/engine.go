@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events with equal timestamps fire in
+// scheduling order (FIFO), which keeps the simulation deterministic.
+type Event struct {
+	at  Time
+	seq uint64
+	fn  func()
+	// index in the heap, or -1 once popped/cancelled.
+	index int
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.fn == nil }
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event simulation core. It is not safe for concurrent
+// use: the simulated world is single-threaded by design (determinism), and
+// parallelism belongs outside the engine (e.g., running independent scenarios
+// on separate goroutines, each with its own Engine).
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	fired   uint64
+	stopped bool
+}
+
+// NewEngine returns an engine positioned at t=0 with an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of scheduled, uncancelled events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Fired returns the total number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Schedule runs fn at the given instant. Scheduling in the past panics: it
+// would silently corrupt causality. The returned Event may be cancelled.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil event function")
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After runs fn after delay d from the current time.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.Schedule(e.now.Add(d), fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 || ev.fn == nil {
+		return
+	}
+	ev.fn = nil
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Run executes events in timestamp order until the queue empties, the horizon
+// passes, or Stop is called. The clock finishes at min(horizon, last event)
+// when the queue drains, or exactly at the horizon otherwise.
+func (e *Engine) Run(horizon Time) {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > horizon {
+			e.now = horizon
+			return
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		fn := next.fn
+		next.fn = nil
+		e.fired++
+		fn()
+	}
+	if !e.stopped && e.now < horizon && horizon < Forever {
+		e.now = horizon
+	}
+}
+
+// Step executes exactly one event if any is pending, and reports whether one
+// fired. Useful for fine-grained tests.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		next := heap.Pop(&e.queue).(*Event)
+		if next.fn == nil {
+			continue
+		}
+		e.now = next.at
+		fn := next.fn
+		next.fn = nil
+		e.fired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Stop halts Run after the currently executing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Ticker invokes fn every period, starting one period from now, until the
+// returned stop function is called. fn receives the tick time.
+func (e *Engine) Ticker(period Duration, fn func(Time)) (stop func()) {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	stopped := false
+	var tick func()
+	var pending *Event
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn(e.now)
+		if !stopped {
+			pending = e.After(period, tick)
+		}
+	}
+	pending = e.After(period, tick)
+	return func() {
+		stopped = true
+		e.Cancel(pending)
+	}
+}

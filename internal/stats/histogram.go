@@ -1,0 +1,282 @@
+// Package stats provides the measurement toolkit used across the Pliant
+// reproduction: log-bucketed latency histograms with accurate high
+// percentiles, streaming moment accumulators, five-number/violin summaries
+// for the multi-colocation study (paper Fig. 7), and time-series recorders
+// for the dynamic-behavior figures (paper Figs. 4 and 6).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is a log-bucketed histogram in the spirit of HdrHistogram: values
+// are bucketed with bounded relative error, so p99/p999 of heavy-tailed
+// latency distributions stay accurate without storing every sample. The zero
+// value is not usable; construct with NewHistogram.
+type Histogram struct {
+	min, max         float64 // representable range
+	bucketsPerOctave int
+	counts           []uint64
+	total            uint64
+	sum              float64
+	observedMin      float64
+	observedMax      float64
+	underflow        uint64 // values below min are clamped into bucket 0 but counted here too
+}
+
+// NewHistogram returns a histogram covering [min, max] with the given number
+// of buckets per powers-of-two octave. 32 buckets/octave keeps relative error
+// under ~2.2%, plenty for tail-latency ratios.
+func NewHistogram(min, max float64, bucketsPerOctave int) *Histogram {
+	if min <= 0 || max <= min {
+		panic("stats: histogram needs 0 < min < max")
+	}
+	if bucketsPerOctave <= 0 {
+		panic("stats: histogram needs positive buckets per octave")
+	}
+	octaves := math.Log2(max / min)
+	n := int(math.Ceil(octaves*float64(bucketsPerOctave))) + 1
+	return &Histogram{
+		min:              min,
+		max:              max,
+		bucketsPerOctave: bucketsPerOctave,
+		counts:           make([]uint64, n),
+		observedMin:      math.Inf(1),
+		observedMax:      math.Inf(-1),
+	}
+}
+
+// NewLatencyHistogram returns a histogram sized for end-to-end request
+// latencies: 100 nanoseconds to 1000 seconds.
+func NewLatencyHistogram() *Histogram {
+	return NewHistogram(100, 1e12, 32) // values in nanoseconds
+}
+
+func (h *Histogram) bucketIndex(v float64) int {
+	if v < h.min {
+		return 0
+	}
+	idx := int(math.Log2(v/h.min) * float64(h.bucketsPerOctave))
+	if idx >= len(h.counts) {
+		idx = len(h.counts) - 1
+	}
+	return idx
+}
+
+// bucketValue returns the representative (geometric midpoint) value of bucket i.
+func (h *Histogram) bucketValue(i int) float64 {
+	lo := h.min * math.Pow(2, float64(i)/float64(h.bucketsPerOctave))
+	hi := h.min * math.Pow(2, float64(i+1)/float64(h.bucketsPerOctave))
+	return math.Sqrt(lo * hi)
+}
+
+// Record adds one observation. Non-positive and NaN values are ignored:
+// latencies and durations are strictly positive in this codebase, so such a
+// value indicates a harmless sampling artifact rather than a datum.
+func (h *Histogram) Record(v float64) {
+	if math.IsNaN(v) || v <= 0 {
+		return
+	}
+	if v < h.min {
+		h.underflow++
+	}
+	h.counts[h.bucketIndex(v)]++
+	h.total++
+	h.sum += v
+	if v < h.observedMin {
+		h.observedMin = v
+	}
+	if v > h.observedMax {
+		h.observedMax = v
+	}
+}
+
+// RecordN adds n identical observations.
+func (h *Histogram) RecordN(v float64, n uint64) {
+	if math.IsNaN(v) || v <= 0 || n == 0 {
+		return
+	}
+	if v < h.min {
+		h.underflow += n
+	}
+	h.counts[h.bucketIndex(v)] += n
+	h.total += n
+	h.sum += v * float64(n)
+	if v < h.observedMin {
+		h.observedMin = v
+	}
+	if v > h.observedMax {
+		h.observedMax = v
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the arithmetic mean of recorded observations, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Min and Max return the exact observed extrema (not bucket boundaries).
+func (h *Histogram) Min() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.observedMin
+}
+
+// Max returns the exact observed maximum, or 0 if empty.
+func (h *Histogram) Max() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.observedMax
+}
+
+// Quantile returns the value at quantile q in [0, 1]. Within a bucket the
+// value is the bucket's geometric midpoint; the extreme quantiles return the
+// exact observed extrema.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.observedMin
+	}
+	if q >= 1 {
+		return h.observedMax
+	}
+	rank := uint64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum > rank {
+			v := h.bucketValue(i)
+			// Clamp to observed extrema so sparse histograms do not report
+			// values outside the data.
+			if v < h.observedMin {
+				v = h.observedMin
+			}
+			if v > h.observedMax {
+				v = h.observedMax
+			}
+			return v
+		}
+	}
+	return h.observedMax
+}
+
+// P50, P95, P99, P999 are the common tail-latency quantiles.
+func (h *Histogram) P50() float64 { return h.Quantile(0.50) }
+
+// P95 returns the 95th-percentile value.
+func (h *Histogram) P95() float64 { return h.Quantile(0.95) }
+
+// P99 returns the 99th-percentile value — the QoS metric used throughout the
+// paper.
+func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
+
+// P999 returns the 99.9th-percentile value.
+func (h *Histogram) P999() float64 { return h.Quantile(0.999) }
+
+// Reset clears all recorded observations, retaining the configuration.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+	h.sum = 0
+	h.underflow = 0
+	h.observedMin = math.Inf(1)
+	h.observedMax = math.Inf(-1)
+}
+
+// Merge adds all observations of other into h. The histograms must share a
+// configuration.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other.min != h.min || other.max != h.max || other.bucketsPerOctave != h.bucketsPerOctave {
+		return fmt.Errorf("stats: merging incompatible histograms")
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	h.underflow += other.underflow
+	if other.total > 0 {
+		if other.observedMin < h.observedMin {
+			h.observedMin = other.observedMin
+		}
+		if other.observedMax > h.observedMax {
+			h.observedMax = other.observedMax
+		}
+	}
+	return nil
+}
+
+// Snapshot summarizes the histogram for reporting.
+type Snapshot struct {
+	Count          uint64
+	Mean, Min, Max float64
+	P50, P95, P99  float64
+	P999           float64
+}
+
+// Snapshot captures the current distribution summary.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.P50(),
+		P95:   h.P95(),
+		P99:   h.P99(),
+		P999:  h.P999(),
+	}
+}
+
+// Quantiles computes exact quantiles of a small sample slice (the slice is
+// copied, sorted, and interpolated linearly). Used where sample counts are
+// modest and exactness matters more than memory.
+func Quantiles(samples []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(samples) == 0 {
+		return out
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	for i, q := range qs {
+		out[i] = quantileSorted(sorted, q)
+	}
+	return out
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

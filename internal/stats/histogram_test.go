@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/approx-sched/pliant/internal/sim"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewLatencyHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.P99() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Record(1000)
+	h.Record(2000)
+	h.Record(3000)
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", h.Count())
+	}
+	if got := h.Mean(); got != 2000 {
+		t.Fatalf("Mean = %v, want 2000", got)
+	}
+	if h.Min() != 1000 || h.Max() != 3000 {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramIgnoresBadValues(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Record(-5)
+	h.Record(0)
+	h.Record(math.NaN())
+	if h.Count() != 0 {
+		t.Fatalf("bad values were recorded: count=%d", h.Count())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewLatencyHistogram()
+	rng := sim.NewRNG(1)
+	var exact []float64
+	for i := 0; i < 200000; i++ {
+		// Lognormal latencies centered near 100us with a heavy tail.
+		v := rng.LogNormal(math.Log(100_000), 0.6)
+		exact = append(exact, v)
+		h.Record(v)
+	}
+	sort.Float64s(exact)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		want := exact[int(q*float64(len(exact)))]
+		got := h.Quantile(q)
+		relErr := math.Abs(got-want) / want
+		if relErr > 0.05 {
+			t.Errorf("q=%v: got %v want %v (rel err %.3f)", q, got, want, relErr)
+		}
+	}
+}
+
+func TestHistogramRecordN(t *testing.T) {
+	a := NewLatencyHistogram()
+	b := NewLatencyHistogram()
+	for i := 0; i < 10; i++ {
+		a.Record(5000)
+	}
+	b.RecordN(5000, 10)
+	if a.Count() != b.Count() || a.Mean() != b.Mean() || a.P99() != b.P99() {
+		t.Fatal("RecordN(v,10) differs from 10×Record(v)")
+	}
+	b.RecordN(100, 0)
+	if b.Count() != 10 {
+		t.Fatal("RecordN with n=0 recorded something")
+	}
+}
+
+func TestHistogramClampsToObserved(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Record(777)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 777 {
+			t.Fatalf("single-sample quantile(%v) = %v, want 777", q, got)
+		}
+	}
+}
+
+func TestHistogramUnderflowClamped(t *testing.T) {
+	h := NewHistogram(1000, 1e9, 32)
+	h.Record(1) // below min
+	if h.Count() != 1 {
+		t.Fatal("underflow value not counted")
+	}
+	if h.Quantile(0.5) != 1 {
+		t.Fatalf("quantile should clamp to observed min, got %v", h.Quantile(0.5))
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Record(123456)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 || h.P99() != 0 {
+		t.Fatal("Reset did not clear histogram")
+	}
+	h.Record(1000)
+	if h.Count() != 1 {
+		t.Fatal("histogram unusable after Reset")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewLatencyHistogram()
+	b := NewLatencyHistogram()
+	rng := sim.NewRNG(2)
+	all := NewLatencyHistogram()
+	for i := 0; i < 5000; i++ {
+		v := rng.LogNormal(math.Log(50_000), 0.4)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		all.Record(v)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != all.Count() {
+		t.Fatalf("merged count %d != %d", a.Count(), all.Count())
+	}
+	if math.Abs(a.P99()-all.P99())/all.P99() > 1e-9 {
+		t.Fatalf("merged P99 %v != %v", a.P99(), all.P99())
+	}
+	incompatible := NewHistogram(1, 10, 4)
+	if err := a.Merge(incompatible); err == nil {
+		t.Fatal("merging incompatible histograms did not error")
+	}
+}
+
+func TestHistogramConstructorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"min<=0":      func() { NewHistogram(0, 10, 8) },
+		"max<=min":    func() { NewHistogram(10, 10, 8) },
+		"zeroBuckets": func() { NewHistogram(1, 10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	h := NewLatencyHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Record(float64(i) * 1000)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("snapshot count %d", s.Count)
+	}
+	if s.Min != 1000 || s.Max != 100000 {
+		t.Fatalf("snapshot extrema %v/%v", s.Min, s.Max)
+	}
+	if s.P50 > s.P95 || s.P95 > s.P99 || s.P99 > s.P999 {
+		t.Fatalf("percentiles not monotone: %+v", s)
+	}
+}
+
+// Property: histogram quantiles are monotone in q.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed uint64, raw []uint32) bool {
+		h := NewLatencyHistogram()
+		rng := sim.NewRNG(seed)
+		n := len(raw)%500 + 10
+		for i := 0; i < n; i++ {
+			h.Record(rng.LogNormal(12, 1.0))
+		}
+		prev := 0.0
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactQuantiles(t *testing.T) {
+	samples := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	qs := Quantiles(samples, 0, 0.5, 1)
+	if qs[0] != 1 || qs[2] != 10 {
+		t.Fatalf("extreme quantiles wrong: %v", qs)
+	}
+	if qs[1] != 5.5 {
+		t.Fatalf("median = %v, want 5.5", qs[1])
+	}
+	if got := Quantiles(nil, 0.5); got[0] != 0 {
+		t.Fatalf("empty Quantiles = %v", got)
+	}
+}

@@ -1,0 +1,138 @@
+// Package workload provides the stochastic building blocks for driving the
+// interactive services: arrival processes (open-loop Poisson, as in the
+// paper's client generators), service-demand distributions (log-normal with
+// heavy right tails, bimodal disk-bound mixtures), and key-popularity skew
+// (Zipf) for cache-like services.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/approx-sched/pliant/internal/sim"
+)
+
+// Sampler produces successive values of a distribution, in arbitrary units.
+type Sampler interface {
+	Sample(rng *sim.RNG) float64
+	// Mean returns the distribution's analytic mean, used to compute
+	// saturation throughput without simulation.
+	Mean() float64
+}
+
+// Constant is a degenerate distribution.
+type Constant float64
+
+// Sample returns the constant value.
+func (c Constant) Sample(*sim.RNG) float64 { return float64(c) }
+
+// Mean returns the constant value.
+func (c Constant) Mean() float64 { return float64(c) }
+
+// Exponential is the memoryless distribution with the given mean.
+type Exponential struct{ M float64 }
+
+// Sample draws an exponential value.
+func (e Exponential) Sample(rng *sim.RNG) float64 { return rng.Exp(e.M) }
+
+// Mean returns the analytic mean.
+func (e Exponential) Mean() float64 { return e.M }
+
+// LogNormal is parameterized by its median and the sigma of the underlying
+// normal. Interactive request service times are well described by
+// log-normals: most requests are quick, a few percent are much slower.
+type LogNormal struct {
+	Median float64
+	Sigma  float64
+}
+
+// Sample draws a log-normal value.
+func (l LogNormal) Sample(rng *sim.RNG) float64 {
+	return rng.LogNormal(math.Log(l.Median), l.Sigma)
+}
+
+// Mean returns the analytic mean median·exp(sigma²/2).
+func (l LogNormal) Mean() float64 {
+	return l.Median * math.Exp(l.Sigma*l.Sigma/2)
+}
+
+// Bimodal mixes two samplers: with probability PHeavy the heavy sampler is
+// used. It models services where a fraction of requests miss cache and go to
+// disk (MongoDB) or take a slow path.
+type Bimodal struct {
+	Light  Sampler
+	Heavy  Sampler
+	PHeavy float64
+}
+
+// Sample draws from the mixture.
+func (b Bimodal) Sample(rng *sim.RNG) float64 {
+	if rng.Bernoulli(b.PHeavy) {
+		return b.Heavy.Sample(rng)
+	}
+	return b.Light.Sample(rng)
+}
+
+// Mean returns the mixture mean.
+func (b Bimodal) Mean() float64 {
+	return (1-b.PHeavy)*b.Light.Mean() + b.PHeavy*b.Heavy.Mean()
+}
+
+// Zipf generates ranks in [0, N) with Zipfian skew s (s=0 is uniform).
+// Used for key popularity in the memcached dataset (5M items) and file
+// popularity for NGINX (1M files).
+type Zipf struct {
+	N int
+	S float64
+
+	cdf []float64 // lazily built cumulative distribution
+}
+
+// NewZipf precomputes the rank CDF. N above ~10M would make the table large;
+// the paper's datasets (1M, 5M) are fine at 8 bytes per rank.
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: zipf needs positive N, got %d", n)
+	}
+	if s < 0 {
+		return nil, fmt.Errorf("workload: zipf skew must be non-negative, got %v", s)
+	}
+	z := &Zipf{N: n, S: s, cdf: make([]float64, n)}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		z.cdf[i] = sum
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= sum
+	}
+	return z, nil
+}
+
+// Rank draws a rank in [0, N), rank 0 being the most popular.
+func (z *Zipf) Rank(rng *sim.RNG) int {
+	u := rng.Float64()
+	// Binary search the CDF.
+	lo, hi := 0, z.N-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// HitRatio returns the fraction of draws that fall within the top-k ranks —
+// the analytic cache hit ratio for a cache holding the k hottest items.
+func (z *Zipf) HitRatio(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k >= z.N {
+		return 1
+	}
+	return z.cdf[k-1]
+}

@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/approx-sched/pliant/internal/sim"
+)
+
+func TestConstant(t *testing.T) {
+	c := Constant(5)
+	rng := sim.NewRNG(1)
+	if c.Sample(rng) != 5 || c.Mean() != 5 {
+		t.Fatal("Constant misbehaves")
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	e := Exponential{M: 3}
+	rng := sim.NewRNG(2)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += e.Sample(rng)
+	}
+	if got := sum / n; math.Abs(got-3)/3 > 0.02 {
+		t.Fatalf("empirical mean %v, want ~3", got)
+	}
+	if e.Mean() != 3 {
+		t.Fatalf("Mean() = %v", e.Mean())
+	}
+}
+
+func TestLogNormalMeanAndMedian(t *testing.T) {
+	l := LogNormal{Median: 100, Sigma: 0.5}
+	wantMean := 100 * math.Exp(0.125)
+	if math.Abs(l.Mean()-wantMean) > 1e-9 {
+		t.Fatalf("analytic mean %v, want %v", l.Mean(), wantMean)
+	}
+	rng := sim.NewRNG(3)
+	const n = 100000
+	below, sum := 0, 0.0
+	for i := 0; i < n; i++ {
+		v := l.Sample(rng)
+		if v < 100 {
+			below++
+		}
+		sum += v
+	}
+	if frac := float64(below) / n; math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("median fraction %v, want ~0.5", frac)
+	}
+	if got := sum / n; math.Abs(got-wantMean)/wantMean > 0.02 {
+		t.Fatalf("empirical mean %v, want ~%v", got, wantMean)
+	}
+}
+
+func TestBimodal(t *testing.T) {
+	b := Bimodal{Light: Constant(1), Heavy: Constant(100), PHeavy: 0.1}
+	if want := 0.9*1 + 0.1*100; math.Abs(b.Mean()-want) > 1e-12 {
+		t.Fatalf("Mean = %v, want %v", b.Mean(), want)
+	}
+	rng := sim.NewRNG(4)
+	heavy := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if b.Sample(rng) == 100 {
+			heavy++
+		}
+	}
+	if frac := float64(heavy) / n; math.Abs(frac-0.1) > 0.005 {
+		t.Fatalf("heavy fraction %v, want ~0.1", frac)
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	if _, err := NewZipf(0, 1); err == nil {
+		t.Fatal("NewZipf(0) succeeded")
+	}
+	if _, err := NewZipf(10, -1); err == nil {
+		t.Fatal("NewZipf negative skew succeeded")
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z, err := NewZipf(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(5)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Rank(rng)]++
+	}
+	for r, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-0.1) > 0.01 {
+			t.Fatalf("rank %d frequency %v, want ~0.1", r, frac)
+		}
+	}
+}
+
+func TestZipfSkewConcentrates(t *testing.T) {
+	z, err := NewZipf(1000, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(6)
+	top10 := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if z.Rank(rng) < 10 {
+			top10++
+		}
+	}
+	frac := float64(top10) / n
+	want := z.HitRatio(10)
+	if math.Abs(frac-want) > 0.01 {
+		t.Fatalf("top-10 frequency %v, want ~%v", frac, want)
+	}
+	if want < 0.3 {
+		t.Fatalf("zipf(1.0) top-10 ratio %v suspiciously low", want)
+	}
+}
+
+func TestZipfHitRatioEdges(t *testing.T) {
+	z, _ := NewZipf(100, 0.9)
+	if z.HitRatio(0) != 0 {
+		t.Fatal("HitRatio(0) != 0")
+	}
+	if z.HitRatio(100) != 1 || z.HitRatio(1000) != 1 {
+		t.Fatal("HitRatio(N) != 1")
+	}
+	prev := 0.0
+	for k := 1; k <= 100; k += 7 {
+		h := z.HitRatio(k)
+		if h < prev {
+			t.Fatal("HitRatio not monotone")
+		}
+		prev = h
+	}
+}
+
+// Property: zipf ranks are always in range.
+func TestZipfRankRangeProperty(t *testing.T) {
+	z, _ := NewZipf(50, 1.2)
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			r := z.Rank(rng)
+			if r < 0 || r >= 50 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoissonRateAndPositivity(t *testing.T) {
+	p, err := NewPoisson(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rate() != 1000 {
+		t.Fatalf("Rate = %v", p.Rate())
+	}
+	rng := sim.NewRNG(7)
+	var total sim.Duration
+	const n = 100000
+	for i := 0; i < n; i++ {
+		gap := p.Next(rng)
+		if gap <= 0 {
+			t.Fatal("non-positive gap")
+		}
+		total += gap
+	}
+	meanGap := total.Seconds() / n
+	if math.Abs(meanGap-0.001)/0.001 > 0.02 {
+		t.Fatalf("mean gap %v, want ~1ms", meanGap)
+	}
+}
+
+func TestPoissonValidation(t *testing.T) {
+	if _, err := NewPoisson(0); err == nil {
+		t.Fatal("NewPoisson(0) succeeded")
+	}
+	if _, err := NewPoisson(-5); err == nil {
+		t.Fatal("NewPoisson(-5) succeeded")
+	}
+}
+
+func TestUniformArrivals(t *testing.T) {
+	u := Uniform{QPS: 100}
+	if u.Rate() != 100 {
+		t.Fatal("Rate wrong")
+	}
+	rng := sim.NewRNG(8)
+	want := sim.DurationOf(0.01)
+	for i := 0; i < 10; i++ {
+		if got := u.Next(rng); got != want {
+			t.Fatalf("gap = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+// Package pliant is a library-scale reproduction of "Pliant: Leveraging
+// Approximation to Improve Datacenter Resource Efficiency" (Kulkarni, Qi,
+// Delimitrou — HPCA 2019): an online cloud runtime that colocates
+// latency-critical interactive services with approximate-computing
+// applications, dynamically trading the approximate applications' output
+// quality (and, when needed, cores) for the interactive service's tail
+// latency.
+//
+// The package exposes the system's public surface:
+//
+//   - Scenario construction and execution (RunScenario): an interactive
+//     service model (NGINX, memcached, or MongoDB), one or more approximate
+//     applications from the 24-app catalog, and a runtime policy (Pliant's
+//     controller, the precise baseline, a static-approximation ablation, or
+//     the impact-aware arbiter) colocated on a simulated server.
+//   - The approximation design-space exploration (Explore) that derives each
+//     application's pareto-frontier variants.
+//   - The experiment registry (Experiments, RunExperiment) that regenerates
+//     every table and figure of the paper's evaluation.
+//   - The paper's extension paths: ACCEPT-style hint files for user-provided
+//     applications (ParseHints, Sec. 6.5), an online variant-impact learner
+//     (RuntimeLearner, Sec. 6.5), and cluster-level placement informed by
+//     the runtime's tolerance telemetry (RunCluster, Sec. 6.4).
+//
+// All randomness is seeded: equal configurations reproduce results
+// bit-for-bit. See DESIGN.md for the architecture and the
+// hardware-substitution rationale, and EXPERIMENTS.md for paper-vs-measured
+// results.
+package pliant
+
+import (
+	"io"
+
+	"github.com/approx-sched/pliant/internal/accept"
+	"github.com/approx-sched/pliant/internal/app"
+	"github.com/approx-sched/pliant/internal/approx"
+	"github.com/approx-sched/pliant/internal/cluster"
+	"github.com/approx-sched/pliant/internal/colocate"
+	"github.com/approx-sched/pliant/internal/core"
+	"github.com/approx-sched/pliant/internal/dse"
+	"github.com/approx-sched/pliant/internal/experiments"
+	"github.com/approx-sched/pliant/internal/export"
+	"github.com/approx-sched/pliant/internal/monitor"
+	"github.com/approx-sched/pliant/internal/platform"
+	"github.com/approx-sched/pliant/internal/service"
+	"github.com/approx-sched/pliant/internal/sim"
+	"github.com/approx-sched/pliant/internal/stats"
+)
+
+// Core simulation types.
+type (
+	// Time is an instant of virtual time in nanoseconds.
+	Time = sim.Time
+	// Duration is a span of virtual time in nanoseconds.
+	Duration = sim.Duration
+)
+
+// Duration units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Platform modeling.
+type (
+	// PlatformSpec describes the server hardware model.
+	PlatformSpec = platform.Spec
+)
+
+// TablePlatform returns the paper's Table 1 server: dual-socket Xeon
+// E5-2699 v4 with 55MB LLC and 6 irq-dedicated cores.
+func TablePlatform() PlatformSpec { return platform.TablePlatform() }
+
+// SmallPlatform returns a scaled-down server for quick experiments.
+func SmallPlatform() PlatformSpec { return platform.SmallPlatform() }
+
+// Interactive services.
+type (
+	// ServiceClass selects one of the paper's three interactive services.
+	ServiceClass = service.Class
+	// ServiceConfig is a service model; obtain presets via ServicePreset.
+	ServiceConfig = service.Config
+)
+
+// The paper's three latency-critical services.
+const (
+	NGINX     = service.NGINX
+	Memcached = service.Memcached
+	MongoDB   = service.MongoDB
+)
+
+// ServicePreset returns the calibrated model for a service class.
+func ServicePreset(c ServiceClass) ServiceConfig { return service.Preset(c) }
+
+// QoSOf returns a service's p99 QoS target (10ms / 200µs / 100ms).
+func QoSOf(c ServiceClass) Duration { return service.QoSOf(c) }
+
+// Approximate applications.
+type (
+	// AppProfile statically describes one approximate application.
+	AppProfile = app.Profile
+	// ApproxSite is one approximable location (perforable loop, elidable
+	// lock, reducible-precision datum) in an application.
+	ApproxSite = approx.Site
+	// ApproxEffect is a variant's impact on time, traffic, and quality.
+	ApproxEffect = approx.Effect
+)
+
+// Applications returns the 24-application catalog (PARSEC, SPLASH-2,
+// MineBench, BioPerf) in the paper's presentation order.
+func Applications() []AppProfile { return app.Catalog() }
+
+// ApplicationNames returns the catalog names.
+func ApplicationNames() []string { return app.Names() }
+
+// ApplicationByName returns one catalog profile.
+func ApplicationByName(name string) (AppProfile, error) { return app.ByName(name) }
+
+// Design-space exploration.
+type (
+	// ExploreOptions tunes the design-space exploration.
+	ExploreOptions = dse.Options
+	// ExploreResult holds all examined candidates and the pareto-selected
+	// variants for one application.
+	ExploreResult = dse.Result
+)
+
+// DefaultExploreOptions mirrors the paper: 5% inaccuracy budget.
+func DefaultExploreOptions() ExploreOptions { return dse.DefaultOptions() }
+
+// Explore enumerates and selects approximate variants for an application.
+func Explore(prof AppProfile, opts ExploreOptions) (ExploreResult, error) {
+	return dse.Explore(prof, opts)
+}
+
+// VariantsFor returns an application's runtime variant table (precise first,
+// then pareto-selected variants least→most approximate), memoized.
+func VariantsFor(prof AppProfile) ([]ApproxEffect, error) { return dse.VariantsFor(prof) }
+
+// ParseHints reads an ACCEPT-style hints document (the paper's Sec. 6.5
+// user interface for public clouds) and returns the application profile it
+// declares. Such profiles run in scenarios via ScenarioConfig.CustomApps.
+func ParseHints(r io.Reader) (AppProfile, error) { return accept.Parse(r) }
+
+// FormatHints renders a profile in the hints format, useful as a template
+// for user-provided applications.
+func FormatHints(prof AppProfile) string { return accept.Format(prof) }
+
+// Runtime policies.
+type (
+	// Policy decides actuation for each decision interval.
+	Policy = core.Policy
+	// PolicySnapshot is the per-interval controller input.
+	PolicySnapshot = core.Snapshot
+	// PolicyAction is one actuation step.
+	PolicyAction = core.Action
+	// AppView is the controller's view of one colocated application.
+	AppView = core.AppView
+	// MonitorReport is the performance monitor's per-interval output.
+	MonitorReport = monitor.Report
+	// RuntimeKind selects a built-in runtime policy.
+	RuntimeKind = colocate.RuntimeKind
+)
+
+// Policy action kinds.
+const (
+	SwitchVariant = core.SwitchVariant
+	ReclaimCore   = core.ReclaimCore
+	ReturnCore    = core.ReturnCore
+)
+
+// Built-in runtimes.
+const (
+	RuntimePliant       = colocate.Pliant
+	RuntimePrecise      = colocate.Precise
+	RuntimeStaticApprox = colocate.StaticApprox
+	RuntimeImpactAware  = colocate.ImpactAware
+	RuntimeLearner      = colocate.Learner
+)
+
+// Scenarios.
+type (
+	// ScenarioConfig describes one colocation: service, applications,
+	// runtime, load, and decision parameters.
+	ScenarioConfig = colocate.Config
+	// ScenarioResult is the outcome of one run.
+	ScenarioResult = colocate.Result
+	// AppResult summarizes one application after a run.
+	AppResult = colocate.AppResult
+	// Series is a recorded per-interval metric.
+	Series = stats.Series
+	// Trace bundles the per-run series.
+	Trace = stats.Trace
+)
+
+// RunScenario executes one colocation scenario.
+func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) { return colocate.Run(cfg) }
+
+// WriteResultJSON serializes a scenario result as JSON for programmatic
+// consumers.
+func WriteResultJSON(w io.Writer, res ScenarioResult) error {
+	return export.WriteResultJSON(w, res)
+}
+
+// WriteTraceCSV writes the run's per-interval series as a CSV table, ready
+// for plotting the paper's dynamic-behavior figures.
+func WriteTraceCSV(w io.Writer, res ScenarioResult) error {
+	return export.WriteTraceCSV(w, res)
+}
+
+// Cluster scheduling (the paper's Sec. 6.4 scheduler integration).
+type (
+	// ClusterNode is one server in a cluster study.
+	ClusterNode = cluster.Node
+	// ClusterConfig describes a placement study.
+	ClusterConfig = cluster.Config
+	// ClusterResult aggregates a cluster run.
+	ClusterResult = cluster.Result
+	// PlacementPolicy decides where approximate jobs run.
+	PlacementPolicy = cluster.Policy
+	// RoundRobinPlacement is the service-blind baseline.
+	RoundRobinPlacement = cluster.RoundRobin
+	// InterferenceAwarePlacement uses per-app pressure and per-service
+	// tolerance, as the paper's Fig. 10 discussion suggests.
+	InterferenceAwarePlacement = cluster.InterferenceAware
+)
+
+// RunCluster places a batch of approximate jobs across nodes and runs every
+// node's colocation under the Pliant runtime.
+func RunCluster(cfg ClusterConfig) (ClusterResult, error) { return cluster.Run(cfg) }
+
+// CompareClusterPolicies runs the same batch under several placement
+// policies.
+func CompareClusterPolicies(cfg ClusterConfig, policies ...PlacementPolicy) ([]ClusterResult, error) {
+	return cluster.Compare(cfg, policies...)
+}
+
+// RenderClusterComparison formats a policy comparison table.
+func RenderClusterComparison(results []ClusterResult) string { return cluster.Render(results) }
+
+// Experiments.
+type (
+	// ExperimentProfile selects the execution scale of experiments.
+	ExperimentProfile = experiments.Profile
+	// ExperimentEntry is one registered paper table/figure.
+	ExperimentEntry = experiments.Entry
+	// Renderer renders an experiment result as the paper's rows/series.
+	Renderer = experiments.Renderer
+)
+
+// FastProfile returns the scaled experiment profile (minutes of CPU).
+func FastProfile() ExperimentProfile { return experiments.Fast() }
+
+// FullProfile returns the paper-scale experiment profile (hours of CPU).
+func FullProfile() ExperimentProfile { return experiments.Full() }
+
+// Experiments returns every registered experiment, one per paper table or
+// figure.
+func Experiments() []ExperimentEntry { return experiments.Registry() }
+
+// RunExperiment runs one experiment by ID ("table1", "fig1dse", "fig1impact",
+// "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "overhead").
+func RunExperiment(id string, p ExperimentProfile) (Renderer, error) {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(p)
+}

@@ -1,0 +1,147 @@
+package pliant_test
+
+import (
+	"testing"
+
+	pliant "github.com/approx-sched/pliant"
+)
+
+// These tests exercise the public API surface exactly as a downstream user
+// would — nothing here touches internal packages.
+
+func TestPublicPlatform(t *testing.T) {
+	spec := pliant.TablePlatform()
+	if spec.CoresPerSocket != 22 || spec.LLCMB != 55 {
+		t.Fatalf("Table 1 platform: %+v", spec)
+	}
+	if pliant.SmallPlatform().UsableCores() >= spec.UsableCores() {
+		t.Fatal("small platform not smaller")
+	}
+}
+
+func TestPublicServices(t *testing.T) {
+	if pliant.QoSOf(pliant.NGINX) != 10*pliant.Millisecond {
+		t.Fatal("NGINX QoS")
+	}
+	if pliant.QoSOf(pliant.Memcached) != 200*pliant.Microsecond {
+		t.Fatal("memcached QoS")
+	}
+	if pliant.QoSOf(pliant.MongoDB) != 100*pliant.Millisecond {
+		t.Fatal("MongoDB QoS")
+	}
+	cfg := pliant.ServicePreset(pliant.Memcached)
+	if cfg.Name != "memcached" {
+		t.Fatalf("preset name %q", cfg.Name)
+	}
+}
+
+func TestPublicCatalog(t *testing.T) {
+	apps := pliant.Applications()
+	if len(apps) != 24 {
+		t.Fatalf("catalog size %d", len(apps))
+	}
+	names := pliant.ApplicationNames()
+	if len(names) != 24 {
+		t.Fatalf("names size %d", len(names))
+	}
+	p, err := pliant.ApplicationByName("canneal")
+	if err != nil || p.Name != "canneal" {
+		t.Fatalf("ByName: %v %v", p.Name, err)
+	}
+	if _, err := pliant.ApplicationByName("nope"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestPublicExplore(t *testing.T) {
+	prof, _ := pliant.ApplicationByName("SNP")
+	opts := pliant.DefaultExploreOptions()
+	opts.MaxVariants = prof.MaxVariants
+	res, err := pliant.Explore(prof, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) != 5 {
+		t.Fatalf("SNP selected %d variants, paper reports 5", len(res.Selected))
+	}
+	variants, err := pliant.VariantsFor(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(variants) != 6 { // precise + 5
+		t.Fatalf("variant table %d", len(variants))
+	}
+}
+
+func TestPublicScenarioEndToEnd(t *testing.T) {
+	res, err := pliant.RunScenario(pliant.ScenarioConfig{
+		Seed:         5,
+		Service:      pliant.MongoDB,
+		AppNames:     []string{"raytrace"},
+		Runtime:      pliant.RuntimePliant,
+		LoadFraction: 0.78,
+		TimeScale:    16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Apps[0].Done {
+		t.Fatal("app did not finish")
+	}
+	if res.TypicalOverQoS() > 1.2 {
+		t.Fatalf("steady p99 %.2fx QoS", res.TypicalOverQoS())
+	}
+}
+
+func TestPublicCustomPolicy(t *testing.T) {
+	// A trivial always-most-approximate policy through the public Policy
+	// surface.
+	res, err := pliant.RunScenario(pliant.ScenarioConfig{
+		Seed:         5,
+		Service:      pliant.Memcached,
+		AppNames:     []string{"SNP"},
+		Policy:       pinMost{},
+		LoadFraction: 0.78,
+		TimeScale:    16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runtime != "pin-most" {
+		t.Fatalf("runtime %q", res.Runtime)
+	}
+	if res.Apps[0].Inaccuracy <= 0 {
+		t.Fatal("pinned policy produced no approximation")
+	}
+}
+
+type pinMost struct{}
+
+func (pinMost) Name() string { return "pin-most" }
+
+func (pinMost) Decide(s pliant.PolicySnapshot) []pliant.PolicyAction {
+	var out []pliant.PolicyAction
+	for i, a := range s.Apps {
+		if !a.Done && a.Variant < a.MostApproximate {
+			out = append(out, pliant.PolicyAction{Kind: pliant.SwitchVariant, App: i, To: a.MostApproximate})
+		}
+	}
+	return out
+}
+
+func TestPublicExperimentRegistry(t *testing.T) {
+	if len(pliant.Experiments()) != 11 {
+		t.Fatalf("registry size %d", len(pliant.Experiments()))
+	}
+	p := pliant.FastProfile()
+	r, err := pliant.RunExperiment("table1", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Render() == "" {
+		t.Fatal("empty render")
+	}
+	if _, err := pliant.RunExperiment("nope", p); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
