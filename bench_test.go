@@ -209,3 +209,82 @@ func BenchmarkClusterPlacement(b *testing.B) {
 		})
 	}
 }
+
+// schedBenchConfig is the diurnal-day online-scheduling scenario the sched
+// benches share: one compressed day on a three-service cluster.
+func schedBenchConfig() pliant.SchedConfig {
+	shape, _ := pliant.NewDiurnalLoad(0.25, 120)
+	return pliant.SchedConfig{
+		Seed: 42,
+		Nodes: []pliant.ClusterNode{
+			{Name: "cache-1", Service: pliant.Memcached, MaxApps: 3},
+			{Name: "web-1", Service: pliant.NGINX, MaxApps: 3},
+			{Name: "db-1", Service: pliant.MongoDB, MaxApps: 3},
+		},
+		Horizon:    120 * pliant.Second,
+		Epoch:      10 * pliant.Second,
+		JobsPerSec: 0.10,
+		BaseLoad:   0.65,
+		Shape:      shape,
+		TimeScale:  16,
+	}
+}
+
+// BenchmarkSchedDiurnal measures one day of online scheduling per policy —
+// the Sec. 6.4 extension's experiment entry ("sched") at bench scale.
+func BenchmarkSchedDiurnal(b *testing.B) {
+	for _, pol := range []pliant.SchedPolicy{
+		pliant.FirstFitPlacement{},
+		pliant.TelemetryAwarePlacement{},
+	} {
+		b.Run(pol.Name(), func(b *testing.B) {
+			var met float64
+			for i := 0; i < b.N; i++ {
+				cfg := schedBenchConfig()
+				cfg.Policy = pol
+				res, err := pliant.RunSched(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				met += res.QoSMetFrac
+			}
+			b.ReportMetric(met/float64(b.N), "QoSMetFrac")
+		})
+	}
+}
+
+// BenchmarkSchedWorkers quantifies the node-simulation worker pool: the same
+// day on a nine-node cluster with one worker versus a full pool. Multi-node
+// runs should scale sublinearly with node count on multi-core — compare the
+// two timings.
+func BenchmarkSchedWorkers(b *testing.B) {
+	nineNodes := func() []pliant.ClusterNode {
+		var nodes []pliant.ClusterNode
+		for i := 0; i < 3; i++ {
+			nodes = append(nodes,
+				pliant.ClusterNode{Name: "cache", Service: pliant.Memcached, MaxApps: 3},
+				pliant.ClusterNode{Name: "web", Service: pliant.NGINX, MaxApps: 3},
+				pliant.ClusterNode{Name: "db", Service: pliant.MongoDB, MaxApps: 3},
+			)
+		}
+		return nodes
+	}
+	for _, workers := range []int{1, 0} { // 0 = GOMAXPROCS
+		name := "pool"
+		if workers == 1 {
+			name = "serial"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := schedBenchConfig()
+				cfg.Policy = pliant.TelemetryAwarePlacement{}
+				cfg.Nodes = nineNodes()
+				cfg.JobsPerSec = 0.3
+				cfg.Workers = workers
+				if _, err := pliant.RunSched(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

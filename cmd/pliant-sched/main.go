@@ -1,0 +1,175 @@
+// Command pliant-sched runs the online cluster scheduler: approximate jobs
+// stream into a cluster of interactive-service nodes, an online policy
+// places (or defers) them at every scheduling window, and each node runs its
+// colocation under the Pliant runtime with time-varying service load.
+//
+// Usage:
+//
+//	pliant-sched -policy telemetry -shape diurnal -timescale 16
+//	pliant-sched -policy all -nodes memcached,nginx,mongodb,mongodb -rate 0.12
+//	pliant-sched -shape flash -peak 1.6 -timescale 16 -csv trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	pliant "github.com/approx-sched/pliant"
+)
+
+func main() {
+	var (
+		nodesFlag = flag.String("nodes", "memcached,nginx,mongodb",
+			"comma-separated node services; one node per entry")
+		maxApps  = flag.Int("maxapps", 3, "job slots per node")
+		policy   = flag.String("policy", "all", "placement policy: first-fit, best-fit, telemetry, all")
+		horizon  = flag.Float64("horizon", 240, "cluster-time horizon in seconds")
+		epoch    = flag.Float64("epoch", 12, "scheduling window in seconds")
+		rate     = flag.Float64("rate", 0, "job arrivals per second (0 = sized to capacity)")
+		load     = flag.Float64("load", 0.65, "base offered load on every node's service")
+		shape    = flag.String("shape", "diurnal", "load shape: steady, diurnal, flash")
+		amp      = flag.Float64("amp", 0.25, "diurnal amplitude around 1")
+		period   = flag.Float64("period", 0, "diurnal period in seconds (0 = one day across the horizon)")
+		peak     = flag.Float64("peak", 1.6, "flash-crowd peak multiplier")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		scale    = flag.Float64("timescale", 1, "request-timescale multiplier (16 = fast profile)")
+		workers  = flag.Int("workers", 0, "node-simulation worker pool size (0 = GOMAXPROCS)")
+		jobsFlag = flag.String("jobs", "", "comma-separated catalog apps to cycle jobs through (default: shuffled catalog)")
+		jsonOut  = flag.String("json", "", "write the result as JSON to a file ('-' for stdout)")
+		csvOut   = flag.String("csv", "", "write the cluster-horizon trace as CSV to a file ('-' for stdout)")
+	)
+	flag.Parse()
+
+	nodes, err := parseNodes(*nodesFlag, *maxApps)
+	if err != nil {
+		fail(err)
+	}
+	ls, err := parseShape(*shape, *amp, *period, *peak, *horizon)
+	if err != nil {
+		fail(err)
+	}
+
+	cfg := pliant.SchedConfig{
+		Seed:       *seed,
+		Nodes:      nodes,
+		Horizon:    pliant.Duration(*horizon * float64(pliant.Second)),
+		Epoch:      pliant.Duration(*epoch * float64(pliant.Second)),
+		JobsPerSec: *rate,
+		BaseLoad:   *load,
+		Shape:      ls,
+		TimeScale:  *scale,
+		Workers:    *workers,
+	}
+	if *jobsFlag != "" {
+		cfg.JobNames = strings.Split(*jobsFlag, ",")
+	}
+
+	policies, err := parsePolicies(*policy)
+	if err != nil {
+		fail(err)
+	}
+	results, err := pliant.CompareSchedPolicies(cfg, policies...)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(pliant.RenderSchedComparison(results))
+
+	last := results[len(results)-1]
+	fmt.Printf("\n%s detail: %d episodes, %d jobs pending at horizon, max wait %.1fs\n",
+		last.Policy, last.Episodes, last.Pending, last.MaxWaitSec)
+
+	if *jsonOut != "" {
+		if err := writeTo(*jsonOut, func(w *os.File) error { return pliant.WriteSchedResultJSON(w, last) }); err != nil {
+			fail(err)
+		}
+	}
+	if *csvOut != "" {
+		if err := writeTo(*csvOut, func(w *os.File) error { return pliant.WriteSchedTraceCSV(w, last) }); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func parseNodes(spec string, maxApps int) ([]pliant.ClusterNode, error) {
+	counts := map[string]int{}
+	var nodes []pliant.ClusterNode
+	for _, name := range strings.Split(spec, ",") {
+		var cls pliant.ServiceClass
+		var prefix string
+		switch name {
+		case "nginx":
+			cls, prefix = pliant.NGINX, "web"
+		case "memcached":
+			cls, prefix = pliant.Memcached, "cache"
+		case "mongodb":
+			cls, prefix = pliant.MongoDB, "db"
+		default:
+			return nil, fmt.Errorf("unknown service %q (nginx, memcached, mongodb)", name)
+		}
+		counts[prefix]++
+		nodes = append(nodes, pliant.ClusterNode{
+			Name:    fmt.Sprintf("%s-%d", prefix, counts[prefix]),
+			Service: cls,
+			MaxApps: maxApps,
+		})
+	}
+	return nodes, nil
+}
+
+func parseShape(kind string, amp, period, peak, horizonSec float64) (pliant.LoadShape, error) {
+	switch kind {
+	case "steady":
+		return pliant.SteadyLoad{}, nil
+	case "diurnal":
+		if period == 0 {
+			period = horizonSec // one "day" compressed into the horizon
+		}
+		return pliant.NewDiurnalLoad(amp, period)
+	case "flash":
+		return pliant.NewFlashLoad(1, peak, horizonSec/3, horizonSec/6)
+	default:
+		return nil, fmt.Errorf("unknown shape %q (steady, diurnal, flash)", kind)
+	}
+}
+
+func parsePolicies(name string) ([]pliant.SchedPolicy, error) {
+	switch name {
+	case "first-fit":
+		return []pliant.SchedPolicy{pliant.FirstFitPlacement{}}, nil
+	case "best-fit":
+		return []pliant.SchedPolicy{pliant.BestFitPlacement{}}, nil
+	case "telemetry":
+		return []pliant.SchedPolicy{pliant.TelemetryAwarePlacement{}}, nil
+	case "all":
+		return []pliant.SchedPolicy{
+			pliant.FirstFitPlacement{},
+			pliant.BestFitPlacement{},
+			pliant.TelemetryAwarePlacement{},
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q (first-fit, best-fit, telemetry, all)", name)
+	}
+}
+
+// writeTo writes through fn to a path, "-" meaning stdout.
+func writeTo(path string, fn func(*os.File) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "pliant-sched: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Online scheduling (the paper's Sec. 6.4 integration, made event-driven):
+// instead of placing one static batch, approximate jobs stream into the
+// cluster over a simulated day while every node's interactive service rides
+// a diurnal load curve. At each scheduling window the policy sees the live
+// cluster state — free slots, resident-job pressure, and each node's recent
+// Pliant runtime telemetry (p99/QoS, violation fraction) — and places,
+// defers, or force-places pending jobs. Comparing first-fit against the
+// telemetry-aware policy shows what the runtime's feedback is worth to an
+// online scheduler: more node-windows inside QoS at the same job wait time.
+//
+//	go run ./examples/onlinesched
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pliant "github.com/approx-sched/pliant"
+)
+
+func main() {
+	// One "day" of cluster time, compressed: load swings ±25% around the
+	// base with a 240-second period — morning ramp, midday peak, night
+	// trough.
+	day, err := pliant.NewDiurnalLoad(0.25, 240)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := pliant.SchedConfig{
+		Seed: 42,
+		Nodes: []pliant.ClusterNode{
+			{Name: "cache-1", Service: pliant.Memcached, MaxApps: 3},
+			{Name: "web-1", Service: pliant.NGINX, MaxApps: 3},
+			{Name: "db-1", Service: pliant.MongoDB, MaxApps: 3},
+		},
+		Horizon:    240 * pliant.Second,
+		Epoch:      12 * pliant.Second,
+		JobsPerSec: 0.10, // ~24 arrivals over the day for 9 slots
+		BaseLoad:   0.65,
+		Shape:      day,
+		TimeScale:  16, // fast profile: same load arithmetic, fewer requests
+	}
+
+	results, err := pliant.CompareSchedPolicies(cfg,
+		pliant.FirstFitPlacement{},
+		pliant.BestFitPlacement{},
+		pliant.TelemetryAwarePlacement{},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(pliant.RenderSchedComparison(results))
+
+	// The cluster-horizon trace: how the queue and QoS evolve over the day.
+	ta := results[len(results)-1]
+	fmt.Println("\ntelemetry-aware day, window by window:")
+	fmt.Println("   t(s)  queue  running  util   QoS-met")
+	queue := ta.Trace.Series("queue.depth")
+	for _, pt := range queue.Points {
+		fmt.Printf("  %5.0f  %5.0f  %7.0f  %3.0f%%  %7.0f%%\n",
+			pt.T,
+			pt.V,
+			ta.Trace.Series("running").At(pt.T),
+			ta.Trace.Series("utilization").At(pt.T)*100,
+			ta.Trace.Series("qosmet").At(pt.T)*100)
+	}
+
+	fmt.Println("\nFirst-fit stacks the stream onto the first open slots and lets the")
+	fmt.Println("least tolerant service (memcached) absorb the midday peak; the")
+	fmt.Println("telemetry-aware policy reads each node's runtime feedback, steers")
+	fmt.Println("pressure toward tolerant nodes, and defers admission when every")
+	fmt.Println("node is saturated — more windows inside QoS at the same job wait.")
+}

@@ -1,0 +1,3 @@
+module github.com/approx-sched/pliant
+
+go 1.21

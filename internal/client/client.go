@@ -58,8 +58,17 @@ func (g *Generator) Sent() uint64 { return g.sent }
 // Rate returns the offered load in requests/second.
 func (g *Generator) Rate() float64 { return g.arrival.Rate() }
 
+// nextGap draws the next inter-arrival gap, letting time-varying processes
+// (workload.TimedArrival) see the current virtual time.
+func (g *Generator) nextGap() sim.Duration {
+	if ta, ok := g.arrival.(workload.TimedArrival); ok {
+		return ta.NextAt(g.rng, g.eng.Now())
+	}
+	return g.arrival.Next(g.rng)
+}
+
 func (g *Generator) scheduleNext() {
-	g.eng.After(g.arrival.Next(g.rng), func() {
+	g.eng.After(g.nextGap(), func() {
 		if g.stopped {
 			return
 		}

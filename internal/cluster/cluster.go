@@ -16,9 +16,11 @@ import (
 
 	"github.com/approx-sched/pliant/internal/app"
 	"github.com/approx-sched/pliant/internal/colocate"
+	"github.com/approx-sched/pliant/internal/monitor"
 	"github.com/approx-sched/pliant/internal/service"
 	"github.com/approx-sched/pliant/internal/sim"
 	"github.com/approx-sched/pliant/internal/stats"
+	"github.com/approx-sched/pliant/internal/workload"
 )
 
 // Node is one server in the cluster, identified by the interactive service
@@ -53,6 +55,85 @@ type Config struct {
 	TimeScale float64
 	// LoadFraction is the offered load on every node's service.
 	LoadFraction float64
+}
+
+// NodeSeed derives the deterministic per-node seed the batch study and the
+// online scheduler both use, so a node's random stream never depends on what
+// runs on other nodes.
+func NodeSeed(seed uint64, node int) uint64 {
+	return seed ^ uint64(node+1)*0x9e3779b97f4a7c15
+}
+
+// NodeRun describes one node-colocation episode — the shared unit of
+// execution between the batch study (Run) and the online scheduler
+// (internal/sched): a set of approximate jobs on one node's service, run
+// under the Pliant runtime for at most MaxDuration of virtual time.
+type NodeRun struct {
+	Seed         uint64
+	Node         Node
+	AppNames     []string
+	AppWorkScale []float64 // remaining-work fraction per app (nil = full work)
+	LoadFraction float64
+	LoadShape    workload.Shape
+	TimeScale    float64
+	MaxDuration  sim.Duration
+	OnReport     func(monitor.Report) // mid-run telemetry feed
+}
+
+// RunNode executes one node episode.
+func RunNode(r NodeRun) (colocate.Result, error) {
+	return colocate.Run(colocate.Config{
+		Seed:         r.Seed,
+		Service:      r.Node.Service,
+		AppNames:     r.AppNames,
+		AppWorkScale: r.AppWorkScale,
+		Runtime:      colocate.Pliant,
+		LoadFraction: r.LoadFraction,
+		LoadShape:    r.LoadShape,
+		TimeScale:    r.TimeScale,
+		MaxDuration:  r.MaxDuration,
+		OnReport:     r.OnReport,
+	})
+}
+
+// Telemetry is the per-node runtime feedback a scheduler consumes: the
+// paper's Sec. 6.4 "information [that] can be incorporated in the cluster
+// scheduler", accumulated live from the monitor's decision-interval reports.
+type Telemetry struct {
+	// P99OverQoS is a recency-weighted mean of per-interval p99/QoS ratios;
+	// 0 until the first report.
+	P99OverQoS float64
+	// ViolationFrac is the fraction of observed intervals in QoS violation.
+	ViolationFrac float64
+	// Reports counts observed intervals.
+	Reports int
+
+	violations int
+}
+
+// QoSMet reports whether the recent tail has been within QoS. A node with no
+// telemetry yet (idle, or first episode pending) trivially meets QoS.
+func (t Telemetry) QoSMet() bool { return t.P99OverQoS <= 1 }
+
+// telemetryAlpha is the recency weight of the p99 EWMA: high enough to track
+// load swings within a scheduling window, low enough to smooth single-interval
+// spikes.
+const telemetryAlpha = 0.3
+
+// Observe folds one monitor report into the telemetry. Pass it (or a wrapper)
+// as the colocation's OnReport hook.
+func (t *Telemetry) Observe(r monitor.Report) {
+	ratio := float64(r.P99) / float64(r.QoS)
+	if t.Reports == 0 {
+		t.P99OverQoS = ratio
+	} else {
+		t.P99OverQoS = telemetryAlpha*ratio + (1-telemetryAlpha)*t.P99OverQoS
+	}
+	t.Reports++
+	if r.Violation {
+		t.violations++
+	}
+	t.ViolationFrac = float64(t.violations) / float64(t.Reports)
 }
 
 // NodeResult is the outcome of one node's colocation run.
@@ -129,11 +210,10 @@ func Run(cfg Config) (Result, error) {
 				out.Nodes[i] = nr
 				return
 			}
-			res, err := colocate.Run(colocate.Config{
-				Seed:         cfg.Seed ^ uint64(i+1)*0x9e3779b97f4a7c15,
-				Service:      node.Service,
+			res, err := RunNode(NodeRun{
+				Seed:         NodeSeed(cfg.Seed, i),
+				Node:         node,
 				AppNames:     perNode[i],
-				Runtime:      colocate.Pliant,
 				LoadFraction: cfg.LoadFraction,
 				TimeScale:    cfg.TimeScale,
 			})
@@ -249,9 +329,11 @@ func DefaultTolerances() map[service.Class]float64 {
 // Name identifies the policy.
 func (InterferenceAware) Name() string { return "interference-aware" }
 
-// pressureOf scores a job's residual pressure: the footprint its most
-// approximate variant retains, plus bandwidth weight.
-func pressureOf(p app.Profile) float64 {
+// PressureOf scores a job's residual pressure: the footprint its most
+// approximate variant retains, plus bandwidth weight. Both the batch
+// interference-aware policy and the online telemetry-aware scheduler rank
+// jobs by it.
+func PressureOf(p app.Profile) float64 {
 	// Best-case traffic scale from the sites (product of full-depth
 	// reductions), mirroring approx.Combine on maximal decisions without
 	// running the full DSE.
@@ -282,7 +364,7 @@ func (ia InterferenceAware) Place(nodes []Node, jobs []app.Profile) (Placement, 
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		return pressureOf(jobs[order[a]]) > pressureOf(jobs[order[b]])
+		return PressureOf(jobs[order[a]]) > PressureOf(jobs[order[b]])
 	})
 
 	p := make(Placement, len(jobs))
@@ -301,7 +383,7 @@ func (ia InterferenceAware) Place(nodes []Node, jobs []app.Profile) (Placement, 
 		}
 		p[j] = best
 		counts[best]++
-		remaining[best] -= pressureOf(jobs[j])
+		remaining[best] -= PressureOf(jobs[j])
 	}
 	return p, nil
 }

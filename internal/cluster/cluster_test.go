@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"github.com/approx-sched/pliant/internal/app"
+	"github.com/approx-sched/pliant/internal/monitor"
 	"github.com/approx-sched/pliant/internal/service"
+	"github.com/approx-sched/pliant/internal/sim"
 )
 
 func testNodes() []Node {
@@ -94,8 +96,8 @@ func TestInterferenceAwareCapacity(t *testing.T) {
 func TestPressureOrdering(t *testing.T) {
 	plsa, _ := app.ByName("PLSA")
 	ray, _ := app.ByName("raytrace")
-	if pressureOf(plsa) <= pressureOf(ray) {
-		t.Fatalf("PLSA pressure %.1f not above raytrace %.1f", pressureOf(plsa), pressureOf(ray))
+	if PressureOf(plsa) <= PressureOf(ray) {
+		t.Fatalf("PLSA pressure %.1f not above raytrace %.1f", PressureOf(plsa), PressureOf(ray))
 	}
 }
 
@@ -164,6 +166,91 @@ func TestCompareRendersBothPolicies(t *testing.T) {
 	if results[1].WorstP99 > results[0].WorstP99*1.25 {
 		t.Fatalf("interference-aware worst p99 %.2f much worse than round-robin %.2f",
 			results[1].WorstP99, results[0].WorstP99)
+	}
+}
+
+// TestRenderTableShape pins Render's output contract on synthetic results:
+// one header block, one row per result, rows in input (policy) order, with
+// the three aggregate columns formatted.
+func TestRenderTableShape(t *testing.T) {
+	results := []Result{
+		{Policy: "round-robin", QoSMetFraction: 2.0 / 3.0, WorstP99: 1.42, MeanInaccuracy: 2.5},
+		{Policy: "interference-aware", QoSMetFraction: 1, WorstP99: 0.97, MeanInaccuracy: 3.1},
+	}
+	out := Render(results)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2+len(results) {
+		t.Fatalf("render has %d lines, want title + header + %d rows:\n%s", len(lines), len(results), out)
+	}
+	for _, col := range []string{"policy", "QoS met", "worst p99", "mean inacc"} {
+		if !strings.Contains(lines[1], col) {
+			t.Fatalf("header missing %q: %s", col, lines[1])
+		}
+	}
+	// Row order follows input order.
+	if !strings.Contains(lines[2], "round-robin") || !strings.Contains(lines[3], "interference-aware") {
+		t.Fatalf("rows out of order:\n%s", out)
+	}
+	// Formatted aggregates.
+	if !strings.Contains(lines[2], "67%") || !strings.Contains(lines[2], "1.42x") || !strings.Contains(lines[2], "2.50%") {
+		t.Fatalf("round-robin row mis-formatted: %s", lines[2])
+	}
+	if !strings.Contains(lines[3], "100%") || !strings.Contains(lines[3], "0.97x") {
+		t.Fatalf("interference-aware row mis-formatted: %s", lines[3])
+	}
+}
+
+// TestCompareOrderAndIsolation checks Compare returns results in policy
+// order and that each result carries its own policy's name.
+func TestCompareOrderAndIsolation(t *testing.T) {
+	cfg := Config{
+		Seed:      5,
+		Nodes:     testNodes(),
+		Jobs:      []string{"canneal", "raytrace"},
+		TimeScale: 16,
+	}
+	results, err := Compare(cfg, InterferenceAware{}, RoundRobin{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"interference-aware", "round-robin"}
+	for i, w := range want {
+		if results[i].Policy != w {
+			t.Fatalf("result %d is %q, want %q (policy order must be preserved)", i, results[i].Policy, w)
+		}
+	}
+}
+
+func TestNodeSeedIndependentPerNode(t *testing.T) {
+	if NodeSeed(1, 0) == NodeSeed(1, 1) {
+		t.Fatal("node seeds collide")
+	}
+	if NodeSeed(1, 0) != NodeSeed(1, 0) {
+		t.Fatal("node seed not deterministic")
+	}
+}
+
+func TestTelemetryObserve(t *testing.T) {
+	var tel Telemetry
+	if !tel.QoSMet() {
+		t.Fatal("fresh telemetry must trivially meet QoS")
+	}
+	qos := sim.Duration(10 * sim.Millisecond)
+	tel.Observe(monitor.Report{P99: qos / 2, QoS: qos})
+	if tel.P99OverQoS != 0.5 || tel.Reports != 1 || tel.ViolationFrac != 0 {
+		t.Fatalf("after first report: %+v", tel)
+	}
+	tel.Observe(monitor.Report{P99: 2 * qos, QoS: qos, Violation: true})
+	// EWMA: 0.3·2 + 0.7·0.5 = 0.95.
+	if tel.P99OverQoS < 0.94 || tel.P99OverQoS > 0.96 {
+		t.Fatalf("ewma %v, want ≈0.95", tel.P99OverQoS)
+	}
+	if tel.ViolationFrac != 0.5 {
+		t.Fatalf("violation frac %v", tel.ViolationFrac)
+	}
+	tel.Observe(monitor.Report{P99: 3 * qos, QoS: qos, Violation: true})
+	if tel.QoSMet() {
+		t.Fatalf("telemetry at %v×QoS still reports QoS met", tel.P99OverQoS)
 	}
 }
 

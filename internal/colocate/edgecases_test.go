@@ -33,6 +33,7 @@ func TestAppFinishingWhileCoresYielded(t *testing.T) {
 }
 
 func TestMinAppCoresFloorHonored(t *testing.T) {
+	skipIfShort(t)
 	cfg := fastCfg(service.Memcached, "PLSA")
 	cfg.Runtime = Pliant
 	cfg.MinAppCores = 6 // nearly the fair share: at most 2 cores reclaimable
@@ -66,6 +67,7 @@ func TestStaticApproxRuntime(t *testing.T) {
 }
 
 func TestImpactAwareRuntime(t *testing.T) {
+	skipIfShort(t)
 	cfg := fastCfg(service.Memcached, "canneal", "Bayesian")
 	cfg.Runtime = ImpactAware
 	res, err := Run(cfg)
@@ -88,6 +90,7 @@ func TestImpactAwareRuntime(t *testing.T) {
 }
 
 func TestSmallPlatformScenario(t *testing.T) {
+	skipIfShort(t)
 	cfg := fastCfg(service.NGINX, "canneal")
 	cfg.Platform = platform.SmallPlatform()
 	cfg.Runtime = Pliant

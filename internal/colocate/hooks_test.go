@@ -1,0 +1,160 @@
+package colocate
+
+import (
+	"testing"
+
+	"github.com/approx-sched/pliant/internal/monitor"
+	"github.com/approx-sched/pliant/internal/sim"
+	"github.com/approx-sched/pliant/internal/workload"
+)
+
+// TestOnReportTelemetryHook checks the mid-run telemetry feed: one report per
+// decision interval, matching the result's interval count, carrying the
+// fields a scheduler consumes.
+func TestOnReportTelemetryHook(t *testing.T) {
+	var reports []monitor.Report
+	res, err := Run(Config{
+		Seed:        11,
+		Service:     0,
+		AppNames:    []string{"canneal"},
+		Runtime:     Pliant,
+		TimeScale:   16,
+		MaxDuration: 8 * sim.Second,
+		OnReport:    func(r monitor.Report) { reports = append(reports, r) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("telemetry hook never fired")
+	}
+	if len(reports) != res.Intervals {
+		t.Fatalf("hook fired %d times for %d intervals", len(reports), res.Intervals)
+	}
+	for i, r := range reports {
+		if r.QoS != res.QoS {
+			t.Fatalf("report %d QoS %v, result QoS %v", i, r.QoS, res.QoS)
+		}
+		if i > 0 && r.At <= reports[i-1].At {
+			t.Fatalf("reports not time-ordered at %d", i)
+		}
+	}
+}
+
+// TestAppWorkScaleResumesRemainingWork checks the episode-resumption
+// contract: a run handed work scale f finishes in about f times the full
+// run's span, and Progress is relative to the reduced work.
+func TestAppWorkScaleResumesRemainingWork(t *testing.T) {
+	skipIfShort(t)
+	base := Config{
+		Seed:      5,
+		Service:   0,
+		AppNames:  []string{"raytrace"},
+		Runtime:   Precise,
+		TimeScale: 16,
+	}
+	full, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Apps[0].Done {
+		t.Fatal("full run did not finish")
+	}
+
+	half := base
+	half.Seed = 5
+	half.AppWorkScale = []float64{0.5}
+	res, err := Run(half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Apps[0].Done {
+		t.Fatal("half-work run did not finish")
+	}
+	if res.Apps[0].Progress != 1 {
+		t.Fatalf("finished app progress %v", res.Apps[0].Progress)
+	}
+	ratio := res.Apps[0].ExecTime.Seconds() / full.Apps[0].ExecTime.Seconds()
+	if ratio < 0.35 || ratio > 0.65 {
+		t.Fatalf("half-work run took %.2fx of the full run, want ≈0.5", ratio)
+	}
+}
+
+// TestAppWorkScalePartialProgress checks that a bounded episode reports
+// partial progress a scheduler can carry into the next episode.
+func TestAppWorkScalePartialProgress(t *testing.T) {
+	res, err := Run(Config{
+		Seed:         9,
+		Service:      0,
+		AppNames:     []string{"canneal", "canneal"}, // duplicates are independent instances
+		AppWorkScale: []float64{1, 0.8},
+		Runtime:      Pliant,
+		TimeScale:    16,
+		MaxDuration:  6 * sim.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Apps) != 2 {
+		t.Fatalf("apps = %d", len(res.Apps))
+	}
+	for i, a := range res.Apps {
+		if a.Done {
+			continue
+		}
+		if a.Progress <= 0 || a.Progress >= 1 {
+			t.Fatalf("app %d progress %v, want in (0,1)", i, a.Progress)
+		}
+	}
+	// The reduced-work twin must be at least as far along as the full one.
+	if !res.Apps[1].Done && !res.Apps[0].Done && res.Apps[1].Progress < res.Apps[0].Progress {
+		t.Fatalf("0.8-work instance progress %.3f behind full instance %.3f",
+			res.Apps[1].Progress, res.Apps[0].Progress)
+	}
+}
+
+func TestAppWorkScaleValidation(t *testing.T) {
+	bad := Config{
+		AppNames:     []string{"canneal"},
+		AppWorkScale: []float64{0.5, 0.5},
+	}
+	if _, err := Run(bad); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	bad.AppWorkScale = []float64{0}
+	if _, err := Run(bad); err == nil {
+		t.Fatal("zero work scale accepted")
+	}
+	bad.AppWorkScale = []float64{1.5}
+	if _, err := Run(bad); err == nil {
+		t.Fatal("work scale above 1 accepted")
+	}
+}
+
+// TestLoadShapeVariesOfferedLoad drives the same scenario under a steady and
+// a flash-crowd shape: the flash must push more requests through the system.
+func TestLoadShapeVariesOfferedLoad(t *testing.T) {
+	run := func(shape workload.Shape) Result {
+		t.Helper()
+		res, err := Run(Config{
+			Seed:         21,
+			Service:      0,
+			AppNames:     []string{"canneal"},
+			Runtime:      Pliant,
+			LoadFraction: 0.6,
+			TimeScale:    16,
+			MaxDuration:  10 * sim.Second,
+			LoadShape:    shape,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	steady := run(workload.Steady{})
+	flash := run(workload.Flash{Peak: 1.8, StartSec: 2, DurationSec: 6})
+	if flash.Served+flash.Dropped <= (steady.Served+steady.Dropped)*5/4 {
+		t.Fatalf("flash crowd offered %d requests vs steady %d, want ≥25%% more",
+			flash.Served+flash.Dropped, steady.Served+steady.Dropped)
+	}
+}

@@ -78,9 +78,22 @@ type Config struct {
 	// unless sweeping).
 	LoadFraction float64
 
+	// LoadShape, when set, makes the offered load time-varying: the
+	// instantaneous load is LoadFraction times the shape's multiplier at the
+	// current scenario time. Nil means steady load, as in the paper's runs.
+	LoadShape workload.Shape
+
 	// AppNames are names of the colocated approximate applications,
 	// resolved against CustomApps first and then the built-in catalog.
+	// Names may repeat: each entry is an independent instance.
 	AppNames []string
+
+	// AppWorkScale, when non-nil, scales each application's total work
+	// (NominalExecSec) by the matching factor; it must be the same length as
+	// AppNames. An online scheduler resuming a half-finished job hands the
+	// episode a factor of 0.5 so the instance carries exactly the remaining
+	// work. Nil means every app runs its full nominal work.
+	AppWorkScale []float64
 
 	// CustomApps are user-provided application profiles (e.g. parsed from
 	// ACCEPT-style hint files) that AppNames may refer to.
@@ -117,6 +130,12 @@ type Config struct {
 	// the policy never switches variants. The precise baseline runs
 	// uninstrumented, as in the paper.
 	InstrumentApps bool
+
+	// OnReport, when set, observes every decision-interval monitor report —
+	// the mid-run telemetry feed a cluster scheduler consumes (Sec. 6.4). It
+	// fires after the runtime policy has actuated and must not mutate the
+	// scenario.
+	OnReport func(monitor.Report)
 }
 
 // withDefaults fills zero values.
@@ -153,6 +172,13 @@ func (c Config) Validate() error {
 		return fmt.Errorf("colocate: time scale must be positive")
 	case c.DecisionInterval < 10*sim.Millisecond:
 		return fmt.Errorf("colocate: decision interval %v too small", c.DecisionInterval)
+	case c.AppWorkScale != nil && len(c.AppWorkScale) != len(c.AppNames):
+		return fmt.Errorf("colocate: work scale covers %d of %d apps", len(c.AppWorkScale), len(c.AppNames))
+	}
+	for i, f := range c.AppWorkScale {
+		if f <= 0 || f > 1 {
+			return fmt.Errorf("colocate: work scale %v for app %d outside (0, 1]", f, i)
+		}
 	}
 	return c.Platform.Validate()
 }
@@ -169,12 +195,16 @@ type AppResult struct {
 	// execution-time metrics correspond to RelFairShare.
 	RelNominal   float64
 	RelFairShare float64
-	Inaccuracy   float64 // percent
-	FinalCores   int
-	MaxYielded   int
-	VariantMax   int // most approximate variant index available
-	Switches     uint64
-	DynOverhead  float64
+	// Progress is the fraction of this run's work completed, in [0,1] —
+	// relative to the (possibly AppWorkScale-reduced) work the instance was
+	// given, which is what a resuming scheduler needs.
+	Progress    float64
+	Inaccuracy  float64 // percent
+	FinalCores  int
+	MaxYielded  int
+	VariantMax  int // most approximate variant index available
+	Switches    uint64
+	DynOverhead float64
 }
 
 // Result is the outcome of one scenario run.
@@ -308,7 +338,12 @@ func build(cfg Config) (*scenario, error) {
 		return nil, err
 	}
 	qps := svcCfg.SaturationQPS(fairSvcCores) * cfg.LoadFraction
-	arr, err := workload.NewPoisson(qps)
+	var arr workload.ArrivalProcess
+	if cfg.LoadShape != nil {
+		arr, err = workload.NewShapedPoisson(qps, cfg.LoadShape)
+	} else {
+		arr, err = workload.NewPoisson(qps)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -326,6 +361,11 @@ func build(cfg Config) (*scenario, error) {
 		variants, err := dse.VariantsFor(prof)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.AppWorkScale != nil {
+			// Resumed job: the instance carries only the remaining work. The
+			// variant table is unaffected — effects are relative multipliers.
+			prof.NominalExecSec *= cfg.AppWorkScale[i]
 		}
 		cores := s.alloc.Cores(tenants[i+1])
 		inst, err := app.NewInstance(s.eng, s.rng.Split(uint64(10+i)), prof, variants, cores, s.appFinished)
@@ -459,6 +499,7 @@ func (s *scenario) onReport(r monitor.Report) {
 	}
 
 	if s.policy == nil {
+		s.emitReport(r)
 		return
 	}
 	snapshot := core.Snapshot{
@@ -472,6 +513,14 @@ func (s *scenario) onReport(r monitor.Report) {
 		s.apply(act)
 	}
 	s.refreshContention()
+	s.emitReport(r)
+}
+
+// emitReport forwards the report to the external telemetry observer, if any.
+func (s *scenario) emitReport(r monitor.Report) {
+	if s.cfg.OnReport != nil {
+		s.cfg.OnReport(r)
+	}
 }
 
 func (s *scenario) appViews() []core.AppView {
@@ -589,6 +638,7 @@ func (s *scenario) run() (Result, error) {
 			ExecTime:     a.ExecTime(),
 			RelNominal:   a.RelativeExecTime(),
 			RelFairShare: a.ExecTime().Seconds() / prof.ExecTimeOn(s.initCores[i]),
+			Progress:     a.Progress(),
 			Inaccuracy:   a.Inaccuracy(),
 			FinalCores:   a.Cores(),
 			MaxYielded:   s.maxYield[i],

@@ -41,6 +41,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestPreciseBaselineViolatesQoS(t *testing.T) {
+	skipIfShort(t)
 	// The paper's headline precise-mode result: colocating an approximate
 	// app with an interactive service under a fair static allocation
 	// violates QoS badly (NGINX 2.1–9.8x).
@@ -66,6 +67,7 @@ func TestPreciseBaselineViolatesQoS(t *testing.T) {
 }
 
 func TestPliantMeetsQoSWithBoundedInaccuracy(t *testing.T) {
+	skipIfShort(t)
 	// The paper's headline Pliant result: QoS preserved, inaccuracy within
 	// the 5% budget (small overshoot allowed for nondeterministic elision,
 	// as in canneal+memcached's 5.4%).
@@ -101,6 +103,7 @@ func TestPliantMeetsQoSWithBoundedInaccuracy(t *testing.T) {
 }
 
 func TestPliantBeatsPrecise(t *testing.T) {
+	skipIfShort(t)
 	base := fastCfg(service.Memcached, "PLSA")
 	base.Runtime = Precise
 	precise, err := Run(base)
@@ -123,6 +126,7 @@ func TestPliantBeatsPrecise(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
+	skipIfShort(t)
 	cfg := fastCfg(service.NGINX, "streamcluster")
 	cfg.Runtime = Pliant
 	a, err := Run(cfg)
@@ -149,6 +153,7 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestMultiAppColocation(t *testing.T) {
+	skipIfShort(t)
 	// Paper Sec. 6.3 / Fig. 6: canneal + Bayesian sharing a node with an
 	// interactive service; round-robin keeps penalties balanced.
 	cfg := fastCfg(service.NGINX, "canneal", "Bayesian")
@@ -195,6 +200,7 @@ func TestFixedVariantPinsApp(t *testing.T) {
 }
 
 func TestTraceSeriesRecorded(t *testing.T) {
+	skipIfShort(t)
 	cfg := fastCfg(service.NGINX, "canneal")
 	cfg.Runtime = Pliant
 	res, err := Run(cfg)
@@ -231,6 +237,7 @@ func TestMaxDurationBoundsRun(t *testing.T) {
 }
 
 func TestConservationOfCores(t *testing.T) {
+	skipIfShort(t)
 	cfg := fastCfg(service.Memcached, "canneal", "k-means")
 	cfg.Runtime = Pliant
 	res, err := Run(cfg)
@@ -258,5 +265,14 @@ func TestRuntimeKindStrings(t *testing.T) {
 	if Pliant.String() != "pliant" || Precise.String() != "precise" ||
 		StaticApprox.String() != "static-approx" || ImpactAware.String() != "impact-aware" {
 		t.Fatal("runtime names wrong")
+	}
+}
+
+// skipIfShort gates full-scale scenario tests so `go test -short ./...`
+// finishes in seconds while the full run still exercises everything.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full-scale scenario; skipped in -short")
 	}
 }

@@ -106,6 +106,7 @@ func TestFig1DSE(t *testing.T) {
 }
 
 func TestFig1Impact(t *testing.T) {
+	skipIfShort(t)
 	res, err := Fig1Impact(tiny())
 	if err != nil {
 		t.Fatal(err)
@@ -128,6 +129,7 @@ func TestFig1Impact(t *testing.T) {
 }
 
 func TestFig4Dynamic(t *testing.T) {
+	skipIfShort(t)
 	p := tiny()
 	res, err := Fig4Dynamic(p)
 	if err != nil {
@@ -160,6 +162,7 @@ func TestFig4Dynamic(t *testing.T) {
 }
 
 func TestFig5Aggregate(t *testing.T) {
+	skipIfShort(t)
 	res, err := Fig5Aggregate(tiny())
 	if err != nil {
 		t.Fatal(err)
@@ -195,6 +198,7 @@ func TestFig5Aggregate(t *testing.T) {
 }
 
 func TestFig6MultiApp(t *testing.T) {
+	skipIfShort(t)
 	res, err := Fig6MultiApp(tiny())
 	if err != nil {
 		t.Fatal(err)
@@ -214,6 +218,7 @@ func TestFig6MultiApp(t *testing.T) {
 }
 
 func TestFig7Violin(t *testing.T) {
+	skipIfShort(t)
 	res, err := Fig7Violin(tiny())
 	if err != nil {
 		t.Fatal(err)
@@ -238,6 +243,7 @@ func TestFig7Violin(t *testing.T) {
 }
 
 func TestFig8LoadSweep(t *testing.T) {
+	skipIfShort(t)
 	p := tiny()
 	res, err := Fig8LoadSweep(p)
 	if err != nil {
@@ -267,6 +273,7 @@ func TestFig8LoadSweep(t *testing.T) {
 }
 
 func TestFig9Interval(t *testing.T) {
+	skipIfShort(t)
 	res, err := Fig9Interval(tiny())
 	if err != nil {
 		t.Fatal(err)
@@ -287,6 +294,7 @@ func TestFig9Interval(t *testing.T) {
 }
 
 func TestFig10Breakdown(t *testing.T) {
+	skipIfShort(t)
 	res, err := Fig10Breakdown(tiny())
 	if err != nil {
 		t.Fatal(err)
@@ -342,9 +350,41 @@ func TestOverheadMatchesPaper(t *testing.T) {
 	}
 }
 
+func TestSchedDiurnal(t *testing.T) {
+	skipIfShort(t)
+	res, err := SchedDiurnal(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want first-fit, best-fit, telemetry-aware", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Arrived == 0 || row.Completed == 0 {
+			t.Fatalf("%s: arrived=%d completed=%d", row.Policy, row.Arrived, row.Completed)
+		}
+	}
+	// The headline claim: consuming the runtime's telemetry beats first-fit
+	// on QoS-met fraction at equal or better mean job wait.
+	ta, ff := res.FracFor("telemetry-aware"), res.FracFor("first-fit")
+	if ta <= ff {
+		t.Errorf("telemetry-aware QoS-met %.2f not above first-fit %.2f", ta, ff)
+	}
+	if res.WaitFor("telemetry-aware") > res.WaitFor("first-fit") {
+		t.Errorf("telemetry-aware wait %.1fs worse than first-fit %.1fs",
+			res.WaitFor("telemetry-aware"), res.WaitFor("first-fit"))
+	}
+	out := res.Render()
+	for _, want := range []string{"telemetry-aware", "best-fit", "summary:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRegistry(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 11 {
+	if len(reg) != 12 {
 		t.Fatalf("registry has %d entries", len(reg))
 	}
 	ids := map[string]bool{}
@@ -371,5 +411,14 @@ func TestRegistry(t *testing.T) {
 	}
 	if r.Render() == "" {
 		t.Fatal("empty render")
+	}
+}
+
+// skipIfShort gates full-scale scenario tests so `go test -short ./...`
+// finishes in seconds while the full run still exercises everything.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full-scale scenario; skipped in -short")
 	}
 }

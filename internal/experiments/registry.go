@@ -27,6 +27,7 @@ func Registry() []Entry {
 		{"fig9", "Fig. 9: decision-interval sensitivity", wrap(Fig9Interval)},
 		{"fig10", "Fig. 10: approximation vs core-reclamation breakdown", wrap(Fig10Breakdown)},
 		{"overhead", "Sec. 6.2: instrumentation overhead", wrap(Overhead)},
+		{"sched", "Sec. 6.4 extension: online scheduling under a diurnal day", wrap(SchedDiurnal)},
 	}
 }
 

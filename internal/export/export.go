@@ -13,6 +13,7 @@ import (
 	"strconv"
 
 	"github.com/approx-sched/pliant/internal/colocate"
+	"github.com/approx-sched/pliant/internal/stats"
 )
 
 // resultJSON is the stable wire form of a scenario result.
@@ -85,17 +86,26 @@ func WriteResultJSON(w io.Writer, res colocate.Result) error {
 // ("p99", "svc.cores", then remaining series alphabetically). Series are
 // sampled at the union of their timestamps with step-function semantics.
 func WriteTraceCSV(w io.Writer, res colocate.Result) error {
-	names := res.Trace.Names()
+	return writeTrace(w, res.Trace, []string{"p99", "svc.cores"})
+}
+
+// writeTrace renders any trace as a time-indexed CSV table, putting the
+// given headline series first and the rest alphabetically.
+func writeTrace(w io.Writer, tr *stats.Trace, head []string) error {
+	if tr == nil {
+		return fmt.Errorf("export: nil trace")
+	}
+	names := tr.Names()
 	if len(names) == 0 {
 		return fmt.Errorf("export: empty trace")
 	}
-	ordered := orderSeries(names)
+	ordered := orderSeries(names, head)
 
 	// Union of timestamps (they coincide at decision intervals, but be
 	// robust to series of different lengths, e.g. after early app exits).
 	tset := map[float64]bool{}
 	for _, n := range ordered {
-		for _, pt := range res.Trace.Series(n).Points {
+		for _, pt := range tr.Series(n).Points {
 			tset[pt.T] = true
 		}
 	}
@@ -114,7 +124,7 @@ func WriteTraceCSV(w io.Writer, res colocate.Result) error {
 	for _, t := range times {
 		row[0] = strconv.FormatFloat(t, 'f', -1, 64)
 		for i, n := range ordered {
-			row[i+1] = strconv.FormatFloat(res.Trace.Series(n).At(t), 'f', -1, 64)
+			row[i+1] = strconv.FormatFloat(tr.Series(n).At(t), 'f', -1, 64)
 		}
 		if err := cw.Write(row); err != nil {
 			return err
@@ -125,10 +135,12 @@ func WriteTraceCSV(w io.Writer, res colocate.Result) error {
 }
 
 // orderSeries puts the headline series first and the rest alphabetically.
-func orderSeries(names []string) []string {
-	head := []string{"p99", "svc.cores"}
+func orderSeries(names, head []string) []string {
+	seen := map[string]bool{}
+	for _, h := range head {
+		seen[h] = true
+	}
 	var rest []string
-	seen := map[string]bool{"p99": true, "svc.cores": true}
 	for _, n := range names {
 		if !seen[n] {
 			rest = append(rest, n)

@@ -1,0 +1,84 @@
+package export
+
+import (
+	"encoding/json"
+	"io"
+
+	"github.com/approx-sched/pliant/internal/sched"
+)
+
+// schedResultJSON is the stable wire form of an online scheduling result.
+// Determinism tests byte-compare this document across runs, so every field
+// is a plain value with a fixed marshaling order.
+type schedResultJSON struct {
+	Policy          string  `json:"policy"`
+	HorizonSec      float64 `json:"horizon_sec"`
+	EpochSec        float64 `json:"epoch_sec"`
+	Arrived         int     `json:"arrived"`
+	Placed          int     `json:"placed"`
+	Completed       int     `json:"completed"`
+	Pending         int     `json:"pending"`
+	MeanWaitSec     float64 `json:"mean_wait_sec"`
+	MaxWaitSec      float64 `json:"max_wait_sec"`
+	QoSMetFrac      float64 `json:"qos_met_frac"`
+	MeanUtilization float64 `json:"mean_utilization"`
+	MeanInaccuracy  float64 `json:"mean_inaccuracy_pct"`
+	Episodes        int     `json:"episodes"`
+
+	Jobs []schedJobJSON `json:"jobs"`
+}
+
+type schedJobJSON struct {
+	ID         int     `json:"id"`
+	App        string  `json:"app"`
+	Node       string  `json:"node,omitempty"`
+	ArrivalSec float64 `json:"arrival_sec"`
+	StartSec   float64 `json:"start_sec"`
+	FinishSec  float64 `json:"finish_sec"`
+	WaitSec    float64 `json:"wait_sec"`
+	Done       bool    `json:"done"`
+	Inaccuracy float64 `json:"inaccuracy_pct"`
+}
+
+// WriteSchedResultJSON writes an online scheduling result as a single JSON
+// document.
+func WriteSchedResultJSON(w io.Writer, res sched.Result) error {
+	out := schedResultJSON{
+		Policy:          res.Policy,
+		HorizonSec:      res.HorizonSec,
+		EpochSec:        res.EpochSec,
+		Arrived:         res.Arrived,
+		Placed:          res.Placed,
+		Completed:       res.Completed,
+		Pending:         res.Pending,
+		MeanWaitSec:     res.MeanWaitSec,
+		MaxWaitSec:      res.MaxWaitSec,
+		QoSMetFrac:      res.QoSMetFrac,
+		MeanUtilization: res.MeanUtilization,
+		MeanInaccuracy:  res.MeanInaccuracy,
+		Episodes:        res.Episodes,
+	}
+	for _, j := range res.Jobs {
+		out.Jobs = append(out.Jobs, schedJobJSON{
+			ID:         j.ID,
+			App:        j.App,
+			Node:       j.Node,
+			ArrivalSec: j.ArrivalSec,
+			StartSec:   j.StartSec,
+			FinishSec:  j.FinishSec,
+			WaitSec:    j.WaitSec,
+			Done:       j.Done,
+			Inaccuracy: j.Inaccuracy,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteSchedTraceCSV writes the cluster-horizon series (queue depth,
+// utilization, running jobs, QoS-met fraction, worst p99) as a time-indexed
+// CSV table.
+func WriteSchedTraceCSV(w io.Writer, res sched.Result) error {
+	return writeTrace(w, res.Trace, []string{"queue.depth", "utilization"})
+}

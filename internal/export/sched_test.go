@@ -1,0 +1,134 @@
+package export
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/approx-sched/pliant/internal/cluster"
+	"github.com/approx-sched/pliant/internal/sched"
+	"github.com/approx-sched/pliant/internal/service"
+	"github.com/approx-sched/pliant/internal/sim"
+)
+
+func schedConfig() sched.Config {
+	return sched.Config{
+		Seed: 23,
+		Nodes: []cluster.Node{
+			{Name: "cache-1", Service: service.Memcached, MaxApps: 3},
+			{Name: "web-1", Service: service.NGINX, MaxApps: 3},
+			{Name: "db-1", Service: service.MongoDB, MaxApps: 3},
+		},
+		Policy:     sched.TelemetryAware{},
+		Horizon:    60 * sim.Second,
+		Epoch:      10 * sim.Second,
+		JobsPerSec: 0.15,
+		BaseLoad:   0.65,
+		TimeScale:  32,
+	}
+}
+
+// TestSchedExportDeterminism is the subsystem's reproducibility acceptance:
+// equal configs (same seed) must serialize to byte-identical JSON and CSV.
+func TestSchedExportDeterminism(t *testing.T) {
+	render := func() (string, string) {
+		t.Helper()
+		res, err := sched.Run(schedConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j, c bytes.Buffer
+		if err := WriteSchedResultJSON(&j, res); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteSchedTraceCSV(&c, res); err != nil {
+			t.Fatal(err)
+		}
+		return j.String(), c.String()
+	}
+	j1, c1 := render()
+	j2, c2 := render()
+	if j1 != j2 {
+		t.Fatal("equal configs produced different JSON exports")
+	}
+	if c1 != c2 {
+		t.Fatal("equal configs produced different CSV exports")
+	}
+}
+
+func TestSchedResultJSONShape(t *testing.T) {
+	res, err := sched.Run(schedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSchedResultJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"policy", "horizon_sec", "epoch_sec", "arrived", "placed", "completed",
+		"pending", "mean_wait_sec", "qos_met_frac", "mean_utilization",
+		"mean_inaccuracy_pct", "episodes", "jobs",
+	} {
+		if _, ok := doc[key]; !ok {
+			t.Fatalf("JSON missing %q:\n%s", key, buf.String())
+		}
+	}
+	if doc["policy"] != "telemetry-aware" {
+		t.Fatalf("policy %v", doc["policy"])
+	}
+	jobs := doc["jobs"].([]any)
+	if len(jobs) != int(doc["arrived"].(float64)) {
+		t.Fatalf("jobs %d, arrived %v", len(jobs), doc["arrived"])
+	}
+	first := jobs[0].(map[string]any)
+	for _, key := range []string{"id", "app", "arrival_sec", "start_sec", "wait_sec", "done"} {
+		if _, ok := first[key]; !ok {
+			t.Fatalf("job record missing %q", key)
+		}
+	}
+}
+
+func TestSchedTraceCSVShape(t *testing.T) {
+	res, err := sched.Run(schedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSchedTraceCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatal("no data rows")
+	}
+	header := rows[0]
+	if header[0] != "t_seconds" || header[1] != "queue.depth" || header[2] != "utilization" {
+		t.Fatalf("header order %v", header)
+	}
+	for _, want := range []string{"qosmet", "running"} {
+		found := false
+		for _, h := range header {
+			if h == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("header missing %q: %v", want, header)
+		}
+	}
+	for i, row := range rows[1:] {
+		if len(row) != len(header) {
+			t.Fatalf("row %d has %d columns, header %d", i, len(row), len(header))
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package sched
+
+import (
+	"math"
+
+	"github.com/approx-sched/pliant/internal/cluster"
+	"github.com/approx-sched/pliant/internal/service"
+)
+
+// Policy decides, at every scheduling window, where the next pending job
+// runs. Unlike the batch cluster.Policy it never sees the whole job stream:
+// it is offered one job at a time against the cluster's live state and may
+// defer (return -1) to keep the job queued — admission control when every
+// node is saturated. Implementations must only pick nodes with Free > 0.
+type Policy interface {
+	Name() string
+	Place(job Job, nodes []NodeState) int
+}
+
+// FirstFit places each job on the first node with a free slot — the
+// telemetry-blind baseline every bin-packing comparison starts from.
+type FirstFit struct{}
+
+// Name identifies the policy.
+func (FirstFit) Name() string { return "first-fit" }
+
+// Place implements Policy.
+func (FirstFit) Place(_ Job, nodes []NodeState) int {
+	for _, st := range nodes {
+		if st.Free > 0 {
+			return st.Index
+		}
+	}
+	return -1
+}
+
+// BestFit packs each job onto the occupied node with the fewest free slots
+// that still fits — classic best-fit bin packing on slots, concentrating
+// jobs to keep whole nodes unfragmented. Still telemetry-blind.
+type BestFit struct{}
+
+// Name identifies the policy.
+func (BestFit) Name() string { return "best-fit" }
+
+// Place implements Policy.
+func (BestFit) Place(_ Job, nodes []NodeState) int {
+	best, bestFree := -1, math.MaxInt
+	for _, st := range nodes {
+		if st.Free > 0 && st.Free < bestFree {
+			best, bestFree = st.Index, st.Free
+		}
+	}
+	return best
+}
+
+// TelemetryAware consumes the Pliant runtime's live feedback — each node's
+// recent p99/QoS and violation fraction, each resident job's residual
+// pressure — plus the per-service tolerance budgets of the batch policy, and
+// packs interference instead of slots: among nodes whose recent tail is
+// within the admission threshold, a job goes to the one with the most
+// tolerance headroom left after accounting for the upcoming window's load
+// (headroom ranks candidates; observed telemetry, not predicted pressure,
+// gates admission). When every free node's recent tail breaches the
+// threshold the job is deferred, up to MaxDefer windows, after which it
+// takes the least-bad free slot rather than starving.
+type TelemetryAware struct {
+	// Tolerance maps service classes to co-runner pressure budgets; nil uses
+	// cluster.DefaultTolerances.
+	Tolerance map[service.Class]float64
+
+	// AdmitP99 is the recent p99/QoS ratio above which a node stops
+	// admitting jobs (default 1.2 — marginal violations are left to the
+	// node's own Pliant runtime to absorb; only clear breaches repel).
+	AdmitP99 float64
+
+	// MaxDefer is how many windows a job may be deferred before it is
+	// force-placed on the least-bad free node (default 1).
+	MaxDefer int
+}
+
+// Name identifies the policy.
+func (TelemetryAware) Name() string { return "telemetry-aware" }
+
+// Place implements Policy.
+func (p TelemetryAware) Place(job Job, nodes []NodeState) int {
+	tol := p.Tolerance
+	if tol == nil {
+		tol = cluster.DefaultTolerances()
+	}
+	admit := p.AdmitP99
+	if admit == 0 {
+		admit = 1.2
+	}
+	maxDefer := p.MaxDefer
+	if maxDefer == 0 {
+		maxDefer = 1
+	}
+
+	// Rank free nodes by tolerance headroom: the service's budget, derated
+	// by the upcoming window's load (a service near its peak absorbs less
+	// co-runner pressure), minus resident pressure and what this job adds.
+	// Live telemetry gates admission: nodes whose recent tail breaches the
+	// threshold are only used once every healthy option is exhausted.
+	headOf := func(st NodeState) float64 {
+		return tol[st.Node.Service]/math.Max(st.LoadMult, 0.1) - st.Pressure - job.Pressure
+	}
+	best, bestHead := -1, math.Inf(-1)
+	fallback, fbHead := -1, math.Inf(-1)
+	for _, st := range nodes {
+		if st.Free == 0 {
+			continue
+		}
+		head := headOf(st)
+		if head > fbHead {
+			fallback, fbHead = st.Index, head
+		}
+		if st.Telemetry.Reports > 0 && st.Telemetry.P99OverQoS > admit {
+			continue // recently violating: let it recover
+		}
+		if head > bestHead {
+			best, bestHead = st.Index, head
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	// Every free node is violating: defer (admission control), then fall
+	// back to the least-bad node rather than starving the job.
+	if job.Deferrals >= maxDefer {
+		return fallback // possibly still -1 when every slot is taken
+	}
+	return -1
+}

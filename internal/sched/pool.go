@@ -1,0 +1,36 @@
+package sched
+
+import "sync"
+
+// runPool executes fn(0..n-1) on at most `workers` goroutines. Tasks are
+// independent node-episode simulations, each on its own engine, writing into
+// disjoint result slots — so the pool adds wall-clock parallelism without
+// perturbing determinism. With one worker (or one task) it degenerates to a
+// sequential loop.
+func runPool(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

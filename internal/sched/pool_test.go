@@ -1,0 +1,50 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEveryTask(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		seen := make([]int32, 57)
+		runPool(workers, len(seen), func(i int) { atomic.AddInt32(&seen[i], 1) })
+		for i, n := range seen {
+			if n != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, n)
+			}
+		}
+	}
+	// Zero tasks is a no-op.
+	runPool(4, 0, func(int) { t.Fatal("ran a task for n=0") })
+}
+
+// TestPoolActuallyParallel proves the pool overlaps tasks: two tasks that
+// each block until both have started can only finish if two workers run them
+// concurrently. No timing assertions — a sequential pool deadlocks, caught
+// by the test timeout, while a parallel one passes instantly.
+func TestPoolActuallyParallel(t *testing.T) {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	done := make(chan struct{})
+	go func() {
+		runPool(2, 2, func(int) {
+			wg.Done()
+			wg.Wait() // blocks until the *other* task has also started
+		})
+		close(done)
+	}()
+	<-done
+}
+
+func TestPoolSequentialWhenOneWorker(t *testing.T) {
+	// With one worker tasks must run in index order.
+	var order []int
+	runPool(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order %v", order)
+		}
+	}
+}

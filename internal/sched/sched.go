@@ -1,0 +1,648 @@
+// Package sched implements an online, event-driven cluster scheduler in
+// virtual time — the production form of the paper's Sec. 6.4 scheduler
+// integration. Where internal/cluster places one static batch, sched models
+// the stream a datacenter scheduler actually faces: approximate jobs arrive
+// over a horizon via an arrival process, wait in a pending queue, and are
+// placed (or deferred) by an online policy at every scheduling window, while
+// each node's interactive service sees time-varying load (diurnal swings,
+// flash crowds) and continuously feeds the scheduler its Pliant runtime
+// telemetry — recent p99/QoS, violation fraction, and per-app pressure.
+//
+// Time is two-level: the cluster horizon advances in scheduling windows
+// (epochs); within each window, every occupied node runs a real colocation
+// episode (internal/colocate, via cluster.RunNode) for the window's span,
+// resuming each job's remaining work and emitting mid-run telemetry. Node
+// episodes are independent simulations, so a bounded worker pool runs them
+// in parallel across cores; results are folded back in node order, keeping
+// runs bit-for-bit deterministic under a fixed seed.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+
+	"github.com/approx-sched/pliant/internal/app"
+	"github.com/approx-sched/pliant/internal/cluster"
+	"github.com/approx-sched/pliant/internal/colocate"
+	"github.com/approx-sched/pliant/internal/sim"
+	"github.com/approx-sched/pliant/internal/stats"
+	"github.com/approx-sched/pliant/internal/workload"
+)
+
+// Job is one approximate application moving through the scheduler.
+type Job struct {
+	ID  int
+	App app.Profile
+
+	// Pressure is the job's residual shared-resource pressure
+	// (cluster.PressureOf), precomputed for policies.
+	Pressure float64
+
+	ArrivalSec float64
+	// StartSec is when the job first began executing; -1 while queued.
+	StartSec float64
+	// FinishSec is when the job completed; -1 while unfinished.
+	FinishSec float64
+	// Node is the index of the node the job runs on; -1 while queued.
+	Node int
+	// Deferrals counts scheduling windows in which the policy declined to
+	// place the job.
+	Deferrals int
+	// Done reports completion; Inaccuracy is the work-weighted output
+	// quality loss in percent, final once Done.
+	Done       bool
+	Inaccuracy float64
+
+	// remaining is the fraction of the job's nominal work still to run.
+	remaining float64
+}
+
+// WaitSec returns the time the job spent queued before starting, or its age
+// at the horizon if it never started (horizonSec is only used then).
+func (j Job) WaitSec(horizonSec float64) float64 {
+	if j.StartSec >= 0 {
+		return j.StartSec - j.ArrivalSec
+	}
+	return horizonSec - j.ArrivalSec
+}
+
+// NodeState is the live view of one node a policy decides against.
+type NodeState struct {
+	Index int
+	Node  cluster.Node
+
+	// Free is the number of unoccupied job slots.
+	Free int
+	// Resident lists the names of the jobs currently on the node.
+	Resident []string
+	// Pressure is the summed residual pressure of the resident jobs.
+	Pressure float64
+	// Telemetry is the node's Pliant runtime feedback from the most recent
+	// window it was busy (zero value until then).
+	Telemetry cluster.Telemetry
+	// LoadMult is the service-load shape multiplier for the upcoming window.
+	LoadMult float64
+}
+
+// Config describes one online scheduling run.
+type Config struct {
+	// Seed drives all pseudo-randomness; equal configs reproduce results
+	// byte-for-byte.
+	Seed uint64
+
+	// Nodes are the cluster's servers; every node needs MaxApps ≥ 1.
+	Nodes []cluster.Node
+
+	// Policy decides placement at every scheduling window.
+	Policy Policy
+
+	// Horizon is the cluster-time span of the run (default 240 s), rounded
+	// down to a whole number of epochs.
+	Horizon sim.Duration
+
+	// Epoch is the scheduling window: placement decisions fire at its
+	// boundaries and node episodes span it (default 12 s; must be at least
+	// 1 s so episodes cover decision intervals).
+	Epoch sim.Duration
+
+	// JobsPerSec is the mean job arrival rate. Zero sizes a default so that
+	// about two jobs per cluster slot arrive over the horizon.
+	JobsPerSec float64
+
+	// Arrivals overrides the Poisson job stream with a custom process.
+	Arrivals workload.ArrivalProcess
+
+	// JobNames is the cycled sequence of catalog applications jobs draw
+	// from; nil uses a seed-shuffled pass over the full catalog.
+	JobNames []string
+
+	// BaseLoad is the base offered load on every node's service (default
+	// 0.70); the instantaneous load is BaseLoad times the Shape multiplier.
+	BaseLoad float64
+
+	// Shape is the cluster-horizon load shape (default steady).
+	Shape workload.Shape
+
+	// TimeScale multiplies the services' request timescale, as everywhere
+	// in the repo; 1 = paper scale, 16 = fast profile.
+	TimeScale float64
+
+	// Workers bounds how many node episodes simulate concurrently
+	// (default GOMAXPROCS).
+	Workers int
+}
+
+// withDefaults fills zero values.
+func (c Config) withDefaults() Config {
+	if c.Horizon == 0 {
+		c.Horizon = 240 * sim.Second
+	}
+	if c.Epoch == 0 {
+		c.Epoch = 12 * sim.Second
+	}
+	if c.Epoch > 0 {
+		c.Horizon = c.Horizon / c.Epoch * c.Epoch
+	}
+	if c.BaseLoad == 0 {
+		c.BaseLoad = 0.70
+	}
+	if c.Shape == nil {
+		c.Shape = workload.Steady{}
+	}
+	if c.TimeScale == 0 {
+		c.TimeScale = 1
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.JobsPerSec == 0 && c.Arrivals == nil {
+		slots := 0
+		for _, n := range c.Nodes {
+			slots += n.MaxApps
+		}
+		c.JobsPerSec = 2 * float64(slots) / c.Horizon.Seconds()
+	}
+	return c
+}
+
+// Validate reports configuration errors after defaulting.
+func (c Config) Validate() error {
+	switch {
+	case len(c.Nodes) == 0:
+		return fmt.Errorf("sched: no nodes")
+	case c.Policy == nil:
+		return fmt.Errorf("sched: no placement policy")
+	case c.Epoch < sim.Second:
+		return fmt.Errorf("sched: epoch %v below 1s", c.Epoch)
+	case c.Horizon < c.Epoch:
+		return fmt.Errorf("sched: horizon %v shorter than one epoch %v", c.Horizon, c.Epoch)
+	case c.BaseLoad <= 0 || c.BaseLoad > 1.5:
+		return fmt.Errorf("sched: base load %v outside (0, 1.5]", c.BaseLoad)
+	case c.TimeScale <= 0:
+		return fmt.Errorf("sched: time scale must be positive")
+	case c.Arrivals == nil && c.JobsPerSec <= 0:
+		return fmt.Errorf("sched: job arrival rate must be positive")
+	}
+	for i, n := range c.Nodes {
+		if n.MaxApps < 1 {
+			return fmt.Errorf("sched: node %d (%s) needs MaxApps ≥ 1", i, n.Name)
+		}
+	}
+	for _, name := range c.JobNames {
+		if _, err := app.ByName(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JobOutcome is the per-job record in a Result.
+type JobOutcome struct {
+	ID         int
+	App        string
+	Node       string // "" if never placed
+	ArrivalSec float64
+	StartSec   float64 // -1 if never placed
+	FinishSec  float64 // -1 if unfinished
+	WaitSec    float64
+	Done       bool
+	Inaccuracy float64 // percent, final only when Done
+}
+
+// Result aggregates one online scheduling run.
+type Result struct {
+	Policy     string
+	HorizonSec float64
+	EpochSec   float64
+
+	// Arrived / Placed / Completed / Pending count jobs that entered the
+	// system, ever started, finished, and never started, respectively.
+	Arrived   int
+	Placed    int
+	Completed int
+	Pending   int
+
+	// MeanWaitSec and MaxWaitSec cover placed jobs (queued-forever jobs are
+	// reported via Pending, not folded into the mean).
+	MeanWaitSec float64
+	MaxWaitSec  float64
+
+	// QoSMetFrac is the fraction of busy node-windows whose telemetry met
+	// QoS — the service-side cost of each placement policy.
+	QoSMetFrac float64
+
+	// MeanUtilization is the mean fraction of occupied job slots across
+	// scheduling windows.
+	MeanUtilization float64
+
+	// MeanInaccuracy averages quality loss over completed jobs.
+	MeanInaccuracy float64
+
+	// Episodes counts node-window colocation episodes simulated.
+	Episodes int
+
+	Jobs []JobOutcome
+
+	// Trace records the cluster-horizon series: "queue.depth",
+	// "utilization", "running" at each window start; "qosmet" and
+	// "p99.worst" at each window end.
+	Trace *stats.Trace
+}
+
+// nodeRT is the scheduler's runtime state for one node.
+type nodeRT struct {
+	node     cluster.Node
+	resident []*Job
+	tel      cluster.Telemetry
+	busy     int // windows with residents
+	met      int // busy windows meeting QoS
+}
+
+// run carries one executing schedule.
+type run struct {
+	cfg   Config
+	eng   *sim.Engine
+	rng   *sim.RNG
+	names []string
+
+	nodes   []*nodeRT
+	slots   int
+	jobs    []*Job
+	pending []*Job
+
+	window   int // index of the next window to simulate
+	episodes int
+	utilSum  float64
+	utilN    int
+	trace    *stats.Trace
+	err      error
+}
+
+// Run executes one online scheduling study.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	s := &run{
+		cfg:   cfg,
+		eng:   sim.NewEngine(),
+		rng:   sim.NewRNG(cfg.Seed),
+		trace: stats.NewTrace(),
+	}
+	s.names = cfg.JobNames
+	if len(s.names) == 0 {
+		s.names = cluster.ShuffledJobs(cfg.Seed, len(app.Names()))
+	}
+	for _, n := range cfg.Nodes {
+		s.nodes = append(s.nodes, &nodeRT{node: n})
+		s.slots += n.MaxApps
+	}
+
+	arrivals := cfg.Arrivals
+	if arrivals == nil {
+		p, err := workload.NewPoisson(cfg.JobsPerSec)
+		if err != nil {
+			return Result{}, err
+		}
+		arrivals = p
+	}
+	arrRNG := s.rng.Split(1)
+	var scheduleArrival func()
+	scheduleArrival = func() {
+		// Time-varying job streams (e.g. a flash crowd of arrivals) need the
+		// current instant, exactly as the request-level client does.
+		var gap sim.Duration
+		if ta, ok := arrivals.(workload.TimedArrival); ok {
+			gap = ta.NextAt(arrRNG, s.eng.Now())
+		} else {
+			gap = arrivals.Next(arrRNG)
+		}
+		s.eng.After(gap, func() {
+			s.arrive()
+			scheduleArrival()
+		})
+	}
+	scheduleArrival()
+
+	stopTick := s.eng.Ticker(cfg.Epoch, s.boundary)
+	defer stopTick()
+
+	s.eng.Run(sim.Time(cfg.Horizon))
+	if s.err != nil {
+		return Result{}, s.err
+	}
+	return s.finalize(), nil
+}
+
+// arrive admits one job into the pending queue.
+func (s *run) arrive() {
+	name := s.names[len(s.jobs)%len(s.names)]
+	prof, err := app.ByName(name)
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	j := &Job{
+		ID:         len(s.jobs),
+		App:        prof,
+		Pressure:   cluster.PressureOf(prof),
+		ArrivalSec: s.eng.Now().Seconds(),
+		StartSec:   -1,
+		FinishSec:  -1,
+		Node:       -1,
+		remaining:  1,
+	}
+	s.jobs = append(s.jobs, j)
+	s.pending = append(s.pending, j)
+}
+
+// boundary fires at the end of every scheduling window: it simulates the
+// window that just elapsed, folds in completions and telemetry, then lets the
+// policy drain the pending queue into the freed capacity for the next window.
+func (s *run) boundary(now sim.Time) {
+	if s.err != nil {
+		return
+	}
+	s.simulateWindow(now)
+	if s.err != nil {
+		return
+	}
+	if now < sim.Time(s.cfg.Horizon) {
+		s.place(now)
+		s.recordOccupancy(now)
+	}
+	s.window++
+}
+
+// episodeSeed derives the deterministic seed of one node-window episode.
+func episodeSeed(seed uint64, node, window int) uint64 {
+	return cluster.NodeSeed(seed, node) ^ uint64(window+1)*0xbf58476d1ce4e5b9
+}
+
+// episode is the outcome of one node's window simulation.
+type episode struct {
+	apps []colocate.AppResult
+	tel  cluster.Telemetry
+	err  error
+}
+
+// simulateWindow runs every occupied node's colocation for the window ending
+// at now, in parallel on the worker pool, and applies results in node order.
+func (s *run) simulateWindow(now sim.Time) {
+	winStart := now.Seconds() - s.cfg.Epoch.Seconds()
+	var busyIdx []int
+	for i, n := range s.nodes {
+		if len(n.resident) > 0 {
+			busyIdx = append(busyIdx, i)
+		}
+	}
+	results := make([]episode, len(s.nodes))
+	runPool(s.cfg.Workers, len(busyIdx), func(k int) {
+		i := busyIdx[k]
+		n := s.nodes[i]
+		names := make([]string, len(n.resident))
+		scales := make([]float64, len(n.resident))
+		for j, job := range n.resident {
+			names[j] = job.App.Name
+			scales[j] = job.remaining
+		}
+		var tel cluster.Telemetry
+		res, err := cluster.RunNode(cluster.NodeRun{
+			Seed:         episodeSeed(s.cfg.Seed, i, s.window),
+			Node:         n.node,
+			AppNames:     names,
+			AppWorkScale: scales,
+			LoadFraction: s.cfg.BaseLoad,
+			LoadShape:    workload.Shifted{Inner: s.cfg.Shape, BySec: winStart},
+			TimeScale:    s.cfg.TimeScale,
+			MaxDuration:  s.cfg.Epoch,
+			OnReport:     tel.Observe,
+		})
+		results[i] = episode{apps: res.Apps, tel: tel, err: err}
+	})
+
+	busyNodes, metNodes := 0, 0
+	worstP99 := 0.0
+	for _, i := range busyIdx {
+		ep := results[i]
+		if ep.err != nil {
+			s.fail(fmt.Errorf("sched: node %s window %d: %w", s.nodes[i].node.Name, s.window, ep.err))
+			return
+		}
+		n := s.nodes[i]
+		keep := n.resident[:0]
+		for j, job := range n.resident {
+			ar := ep.apps[j]
+			// Episode inaccuracy is relative to the episode's (remaining)
+			// work; weight it back to whole-job terms.
+			job.Inaccuracy += ar.Inaccuracy * job.remaining
+			if ar.Done {
+				job.Done = true
+				job.FinishSec = winStart + ar.ExecTime.Seconds()
+				job.remaining = 0
+			} else {
+				job.remaining *= 1 - ar.Progress
+				keep = append(keep, job)
+			}
+		}
+		for j := len(keep); j < len(n.resident); j++ {
+			n.resident[j] = nil
+		}
+		n.resident = keep
+		n.tel = ep.tel
+		n.busy++
+		busyNodes++
+		if ep.tel.QoSMet() {
+			n.met++
+			metNodes++
+		}
+		if ep.tel.P99OverQoS > worstP99 {
+			worstP99 = ep.tel.P99OverQoS
+		}
+		s.episodes++
+	}
+	// A node with no residents — idle all window, or just emptied by the
+	// completions above — is its service running alone: it meets QoS by
+	// construction, so it sheds any violation telemetry rather than
+	// repelling the policy at this very boundary's placement pass.
+	for _, n := range s.nodes {
+		if len(n.resident) == 0 {
+			n.tel = cluster.Telemetry{}
+		}
+	}
+
+	if busyNodes > 0 {
+		s.trace.Series("qosmet").Append(now.Seconds(), float64(metNodes)/float64(busyNodes))
+		s.trace.Series("p99.worst").Append(now.Seconds(), worstP99)
+	}
+}
+
+// nodeStates snapshots the policy's view of the cluster for the window
+// starting at now.
+func (s *run) nodeStates(now sim.Time) []NodeState {
+	mid := now.Seconds() + s.cfg.Epoch.Seconds()/2
+	states := make([]NodeState, len(s.nodes))
+	for i, n := range s.nodes {
+		st := NodeState{
+			Index:    i,
+			Node:     n.node,
+			Free:     n.node.MaxApps - len(n.resident),
+			LoadMult: workload.ClampMultiplier(s.cfg.Shape.Multiplier(mid)),
+		}
+		for _, job := range n.resident {
+			st.Resident = append(st.Resident, job.App.Name)
+			st.Pressure += job.Pressure
+		}
+		st.Telemetry = n.tel
+		states[i] = st
+	}
+	return states
+}
+
+// place drains the pending queue in arrival order through the policy. The
+// cluster snapshot is built once and updated incrementally as jobs land —
+// only the chosen node's state changes between offers.
+func (s *run) place(now sim.Time) {
+	if len(s.pending) == 0 {
+		return
+	}
+	states := s.nodeStates(now)
+	var still []*Job
+	for _, job := range s.pending {
+		choice := s.cfg.Policy.Place(*job, states)
+		if choice < 0 {
+			job.Deferrals++
+			still = append(still, job)
+			continue
+		}
+		if choice >= len(s.nodes) {
+			s.fail(fmt.Errorf("sched: policy %s placed job %d on unknown node %d", s.cfg.Policy.Name(), job.ID, choice))
+			return
+		}
+		n := s.nodes[choice]
+		if len(n.resident) >= n.node.MaxApps {
+			s.fail(fmt.Errorf("sched: policy %s overfilled node %s with job %d", s.cfg.Policy.Name(), n.node.Name, job.ID))
+			return
+		}
+		job.Node = choice
+		job.StartSec = now.Seconds()
+		n.resident = append(n.resident, job)
+		states[choice].Free--
+		states[choice].Resident = append(states[choice].Resident, job.App.Name)
+		states[choice].Pressure += job.Pressure
+	}
+	s.pending = still
+}
+
+// recordOccupancy appends the window-start series the schedule-horizon
+// figures plot.
+func (s *run) recordOccupancy(now sim.Time) {
+	running := 0
+	for _, n := range s.nodes {
+		running += len(n.resident)
+	}
+	util := float64(running) / float64(s.slots)
+	t := now.Seconds()
+	s.trace.Series("queue.depth").Append(t, float64(len(s.pending)))
+	s.trace.Series("running").Append(t, float64(running))
+	s.trace.Series("utilization").Append(t, util)
+	s.utilSum += util
+	s.utilN++
+}
+
+// fail records the first error and halts the event loop.
+func (s *run) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+	s.eng.Stop()
+}
+
+// finalize folds the run into a Result.
+func (s *run) finalize() Result {
+	out := Result{
+		Policy:     s.cfg.Policy.Name(),
+		HorizonSec: s.cfg.Horizon.Seconds(),
+		EpochSec:   s.cfg.Epoch.Seconds(),
+		Arrived:    len(s.jobs),
+		Episodes:   s.episodes,
+		Trace:      s.trace,
+	}
+	busy, met := 0, 0
+	for _, n := range s.nodes {
+		busy += n.busy
+		met += n.met
+	}
+	out.QoSMetFrac = 1
+	if busy > 0 {
+		out.QoSMetFrac = float64(met) / float64(busy)
+	}
+	if s.utilN > 0 {
+		out.MeanUtilization = s.utilSum / float64(s.utilN)
+	}
+
+	waitSum := 0.0
+	var inaccs []float64
+	for _, j := range s.jobs {
+		o := JobOutcome{
+			ID:         j.ID,
+			App:        j.App.Name,
+			ArrivalSec: j.ArrivalSec,
+			StartSec:   j.StartSec,
+			FinishSec:  j.FinishSec,
+			Done:       j.Done,
+			Inaccuracy: j.Inaccuracy,
+			WaitSec:    j.WaitSec(out.HorizonSec),
+		}
+		if j.Node >= 0 {
+			o.Node = s.nodes[j.Node].node.Name
+			out.Placed++
+			waitSum += o.WaitSec
+			if o.WaitSec > out.MaxWaitSec {
+				out.MaxWaitSec = o.WaitSec
+			}
+		} else {
+			out.Pending++
+		}
+		if j.Done {
+			out.Completed++
+			inaccs = append(inaccs, j.Inaccuracy)
+		}
+		out.Jobs = append(out.Jobs, o)
+	}
+	if out.Placed > 0 {
+		out.MeanWaitSec = waitSum / float64(out.Placed)
+	}
+	out.MeanInaccuracy = stats.Mean(inaccs)
+	return out
+}
+
+// Compare runs the same arrival stream under several policies and returns
+// results in policy order.
+func Compare(cfg Config, policies ...Policy) ([]Result, error) {
+	out := make([]Result, 0, len(policies))
+	for _, pol := range policies {
+		c := cfg
+		c.Policy = pol
+		res, err := Run(c)
+		if err != nil {
+			return nil, fmt.Errorf("sched: policy %s: %w", pol.Name(), err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Render prints a policy comparison table.
+func Render(results []Result) string {
+	s := "online scheduling comparison\n"
+	s += fmt.Sprintf("  %-18s %9s %10s %10s %8s %11s %11s\n",
+		"policy", "QoS met", "mean wait", "max wait", "util", "mean inacc", "done/arrived")
+	for _, r := range results {
+		s += fmt.Sprintf("  %-18s %8.0f%% %9.1fs %9.1fs %7.0f%% %10.2f%% %7d/%d\n",
+			r.Policy, r.QoSMetFrac*100, r.MeanWaitSec, r.MaxWaitSec,
+			r.MeanUtilization*100, r.MeanInaccuracy, r.Completed, r.Arrived)
+	}
+	return s
+}

@@ -1,0 +1,227 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/approx-sched/pliant/internal/sim"
+)
+
+// Shape is a deterministic time-varying load multiplier: the offered load at
+// time t is the base rate times Multiplier(t). Shapes model the load patterns
+// a cluster-horizon study needs — diurnal swings, flash crowds, replayed
+// traces — which the paper's fixed-fraction runs (minutes of steady load)
+// abstract away. Multipliers are clamped positive by consumers; a shape whose
+// multiplier dips to zero would starve the open-loop client.
+type Shape interface {
+	Name() string
+	// Multiplier returns the load multiplier at t seconds from the start of
+	// the run.
+	Multiplier(tSec float64) float64
+}
+
+// minMultiplier is the floor consumers clamp shape multipliers to: an
+// open-loop generator needs a strictly positive rate.
+const minMultiplier = 0.01
+
+// ClampMultiplier applies the positivity floor every Shape consumer uses.
+func ClampMultiplier(m float64) float64 {
+	if m < minMultiplier || math.IsNaN(m) {
+		return minMultiplier
+	}
+	return m
+}
+
+// Steady is the constant shape: the paper's fixed-fraction load. A zero Level
+// means 1.0, so the zero value is the identity shape.
+type Steady struct{ Level float64 }
+
+// Name identifies the shape.
+func (s Steady) Name() string { return "steady" }
+
+// Multiplier returns the constant level.
+func (s Steady) Multiplier(float64) float64 {
+	if s.Level == 0 {
+		return 1
+	}
+	return s.Level
+}
+
+// Diurnal is a sinusoidal day: load swings by ±Amp around 1 with the given
+// period. PhaseSec shifts the curve so t=PhaseSec is mid-ramp (the peak sits
+// a quarter period after it).
+type Diurnal struct {
+	Amp       float64 // peak deviation from 1, in [0, 1)
+	PeriodSec float64 // length of one "day"
+	PhaseSec  float64
+}
+
+// NewDiurnal validates and returns a diurnal shape.
+func NewDiurnal(amp, periodSec float64) (Diurnal, error) {
+	if amp < 0 || amp >= 1 {
+		return Diurnal{}, fmt.Errorf("workload: diurnal amplitude %v outside [0,1)", amp)
+	}
+	if periodSec <= 0 {
+		return Diurnal{}, fmt.Errorf("workload: diurnal period must be positive, got %v", periodSec)
+	}
+	return Diurnal{Amp: amp, PeriodSec: periodSec}, nil
+}
+
+// Name identifies the shape.
+func (d Diurnal) Name() string { return "diurnal" }
+
+// Multiplier returns 1 + Amp·sin(2π(t−Phase)/Period).
+func (d Diurnal) Multiplier(tSec float64) float64 {
+	if d.PeriodSec <= 0 {
+		return 1
+	}
+	return 1 + d.Amp*math.Sin(2*math.Pi*(tSec-d.PhaseSec)/d.PeriodSec)
+}
+
+// Flash is a step or flash crowd: the multiplier is Base outside the event
+// and Peak inside [StartSec, StartSec+DurationSec). A zero DurationSec makes
+// the step permanent (load settles at the new level), a finite one models a
+// transient flash crowd. Zero Base means 1.0.
+type Flash struct {
+	Base        float64
+	Peak        float64
+	StartSec    float64
+	DurationSec float64
+}
+
+// NewFlash validates and returns a flash/step shape.
+func NewFlash(base, peak, startSec, durationSec float64) (Flash, error) {
+	if base < 0 || peak <= 0 {
+		return Flash{}, fmt.Errorf("workload: flash needs positive peak (got %v) and non-negative base (got %v)", peak, base)
+	}
+	if startSec < 0 || durationSec < 0 {
+		return Flash{}, fmt.Errorf("workload: flash start %v / duration %v must be non-negative", startSec, durationSec)
+	}
+	return Flash{Base: base, Peak: peak, StartSec: startSec, DurationSec: durationSec}, nil
+}
+
+// Name identifies the shape.
+func (f Flash) Name() string { return "flash" }
+
+// Multiplier implements Shape.
+func (f Flash) Multiplier(tSec float64) float64 {
+	base := f.Base
+	if base == 0 {
+		base = 1
+	}
+	if tSec < f.StartSec {
+		return base
+	}
+	if f.DurationSec > 0 && tSec >= f.StartSec+f.DurationSec {
+		return base
+	}
+	return f.Peak
+}
+
+// Replay is a trace-replay shape: a step function through recorded
+// (time, multiplier) samples, holding each value until the next sample — the
+// same semantics as production load traces replayed at interval granularity.
+type Replay struct {
+	TimesSec []float64 // ascending sample instants
+	Mult     []float64 // multiplier in effect from the matching instant
+}
+
+// NewReplay validates and returns a replay shape.
+func NewReplay(timesSec, mult []float64) (Replay, error) {
+	if len(timesSec) == 0 || len(timesSec) != len(mult) {
+		return Replay{}, fmt.Errorf("workload: replay needs equal, non-empty sample slices (%d times, %d multipliers)",
+			len(timesSec), len(mult))
+	}
+	if !sort.Float64sAreSorted(timesSec) {
+		return Replay{}, fmt.Errorf("workload: replay times must ascend")
+	}
+	for _, m := range mult {
+		if m <= 0 {
+			return Replay{}, fmt.Errorf("workload: replay multiplier %v not positive", m)
+		}
+	}
+	return Replay{TimesSec: timesSec, Mult: mult}, nil
+}
+
+// Name identifies the shape.
+func (r Replay) Name() string { return "replay" }
+
+// Multiplier returns the sample in effect at t: the latest sample at or
+// before t, or the first sample before the trace starts.
+func (r Replay) Multiplier(tSec float64) float64 {
+	if len(r.TimesSec) == 0 {
+		return 1
+	}
+	// First index with time > t; the sample before it is in effect.
+	i := sort.SearchFloat64s(r.TimesSec, tSec)
+	if i < len(r.TimesSec) && r.TimesSec[i] == tSec {
+		return r.Mult[i]
+	}
+	if i == 0 {
+		return r.Mult[0]
+	}
+	return r.Mult[i-1]
+}
+
+// Shifted evaluates an inner shape at t+BySec: a scheduler handing a node an
+// episode starting at cluster time T shifts the cluster-horizon shape by T so
+// the episode's local clock sees the right part of the day.
+type Shifted struct {
+	Inner Shape
+	BySec float64
+}
+
+// Name identifies the shape.
+func (s Shifted) Name() string { return s.Inner.Name() + "+shift" }
+
+// Multiplier implements Shape.
+func (s Shifted) Multiplier(tSec float64) float64 { return s.Inner.Multiplier(tSec + s.BySec) }
+
+// TimedArrival is the optional ArrivalProcess extension for non-stationary
+// processes: NextAt receives the current virtual time, which the gap
+// distribution may depend on.
+type TimedArrival interface {
+	ArrivalProcess
+	NextAt(rng *sim.RNG, now sim.Time) sim.Duration
+}
+
+// ShapedPoisson is a non-stationary Poisson process: exponential gaps whose
+// rate is BaseQPS·Shape.Multiplier(t), with the rate frozen at the draw
+// instant. For shapes that vary slowly relative to the inter-arrival gap —
+// diurnal periods and flash-crowd plateaus are many thousands of gaps long —
+// this piecewise-stationary approximation is standard and indistinguishable
+// from thinning.
+type ShapedPoisson struct {
+	BaseQPS float64
+	Shape   Shape
+}
+
+// NewShapedPoisson validates and returns a shaped Poisson process.
+func NewShapedPoisson(baseQPS float64, shape Shape) (ShapedPoisson, error) {
+	if baseQPS <= 0 {
+		return ShapedPoisson{}, fmt.Errorf("workload: shaped poisson needs positive base qps, got %v", baseQPS)
+	}
+	if shape == nil {
+		return ShapedPoisson{}, fmt.Errorf("workload: shaped poisson needs a shape")
+	}
+	return ShapedPoisson{BaseQPS: baseQPS, Shape: shape}, nil
+}
+
+// NextAt draws an exponential gap at the rate in effect now.
+func (p ShapedPoisson) NextAt(rng *sim.RNG, now sim.Time) sim.Duration {
+	rate := p.BaseQPS * ClampMultiplier(p.Shape.Multiplier(now.Seconds()))
+	gap := rng.Exp(1 / rate)
+	d := sim.DurationOf(gap)
+	if d <= 0 {
+		d = 1
+	}
+	return d
+}
+
+// Next draws a gap at the t=0 rate, satisfying ArrivalProcess for consumers
+// unaware of time; time-aware generators use NextAt.
+func (p ShapedPoisson) Next(rng *sim.RNG) sim.Duration { return p.NextAt(rng, 0) }
+
+// Rate returns the base rate; the instantaneous rate is shaped around it.
+func (p ShapedPoisson) Rate() float64 { return p.BaseQPS }

@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/approx-sched/pliant/internal/sim"
+)
+
+func TestSteadyShape(t *testing.T) {
+	if m := (Steady{}).Multiplier(123); m != 1 {
+		t.Fatalf("zero-value steady multiplier %v, want 1", m)
+	}
+	if m := (Steady{Level: 0.5}).Multiplier(0); m != 0.5 {
+		t.Fatalf("steady multiplier %v, want 0.5", m)
+	}
+}
+
+func TestDiurnalPhasePoints(t *testing.T) {
+	d, err := NewDiurnal(0.3, 86400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Known phase points of 1 + 0.3·sin(2πt/86400).
+	cases := []struct{ t, want float64 }{
+		{0, 1},               // mid-ramp
+		{21600, 1.3},         // quarter period: peak
+		{43200, 1},           // half period: mid-fall
+		{64800, 0.7},         // three quarters: trough
+		{86400, 1},           // full day wraps
+		{86400 + 21600, 1.3}, // second day peak
+	}
+	for _, c := range cases {
+		if got := d.Multiplier(c.t); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("diurnal(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if _, err := NewDiurnal(1.2, 100); err == nil {
+		t.Fatal("amplitude ≥1 accepted")
+	}
+	if _, err := NewDiurnal(0.2, 0); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}
+
+func TestFlashShape(t *testing.T) {
+	// Transient flash crowd.
+	f := Flash{Peak: 3, StartSec: 10, DurationSec: 5}
+	for _, c := range []struct{ t, want float64 }{
+		{0, 1}, {9.99, 1}, {10, 3}, {14.99, 3}, {15, 1}, {100, 1},
+	} {
+		if got := f.Multiplier(c.t); got != c.want {
+			t.Errorf("flash(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	// Permanent step.
+	s := Flash{Base: 0.8, Peak: 1.6, StartSec: 20}
+	if s.Multiplier(19) != 0.8 || s.Multiplier(20) != 1.6 || s.Multiplier(1e6) != 1.6 {
+		t.Fatal("permanent step wrong")
+	}
+	// The validating constructor rejects the silent-footgun configs.
+	if _, err := NewFlash(1, 0, 10, 5); err == nil {
+		t.Fatal("zero peak accepted")
+	}
+	if _, err := NewFlash(-1, 2, 10, 5); err == nil {
+		t.Fatal("negative base accepted")
+	}
+	if _, err := NewFlash(1, 2, -1, 5); err == nil {
+		t.Fatal("negative start accepted")
+	}
+	if g, err := NewFlash(1, 2, 10, 5); err != nil || g.Multiplier(12) != 2 {
+		t.Fatalf("valid flash rejected: %v %v", g, err)
+	}
+}
+
+func TestReplayShape(t *testing.T) {
+	r, err := NewReplay([]float64{0, 10, 20}, []float64{1, 2, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct{ t, want float64 }{
+		{-5, 1}, {0, 1}, {5, 1}, {10, 2}, {19.9, 2}, {20, 0.5}, {1e4, 0.5},
+	} {
+		if got := r.Multiplier(c.t); got != c.want {
+			t.Errorf("replay(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if _, err := NewReplay([]float64{5, 1}, []float64{1, 1}); err == nil {
+		t.Fatal("unsorted times accepted")
+	}
+	if _, err := NewReplay([]float64{0}, []float64{-1}); err == nil {
+		t.Fatal("negative multiplier accepted")
+	}
+	if _, err := NewReplay(nil, nil); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestShiftedShape(t *testing.T) {
+	d, _ := NewDiurnal(0.3, 86400)
+	s := Shifted{Inner: d, BySec: 21600}
+	if got, want := s.Multiplier(0), d.Multiplier(21600); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("shifted(0) = %v, want %v", got, want)
+	}
+}
+
+func TestShapedPoissonTracksShape(t *testing.T) {
+	d, _ := NewDiurnal(0.5, 1000)
+	p, err := NewShapedPoisson(100, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rate() != 100 {
+		t.Fatalf("base rate %v", p.Rate())
+	}
+	// Mean gap at the peak must be about a third of the gap at the trough
+	// (rate 150 vs 50).
+	meanGap := func(at sim.Time) float64 {
+		rng := sim.NewRNG(7)
+		sum := 0.0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += p.NextAt(rng, at).Seconds()
+		}
+		return sum / n
+	}
+	peak := meanGap(sim.Time(250) * sim.Time(sim.Second))
+	trough := meanGap(sim.Time(750) * sim.Time(sim.Second))
+	if ratio := trough / peak; ratio < 2.6 || ratio > 3.4 {
+		t.Fatalf("trough/peak gap ratio %.2f, want ≈3", ratio)
+	}
+}
+
+func TestShapedPoissonDeterministic(t *testing.T) {
+	d, _ := NewDiurnal(0.4, 500)
+	p, _ := NewShapedPoisson(80, d)
+	draw := func(seed uint64) []sim.Duration {
+		rng := sim.NewRNG(seed)
+		now := sim.Time(0)
+		out := make([]sim.Duration, 200)
+		for i := range out {
+			out[i] = p.NextAt(rng, now)
+			now = now.Add(out[i])
+		}
+		return out
+	}
+	a, b, c := draw(1), draw(1), draw(2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("gap %d differs under equal seeds", i)
+		}
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical gap sequences")
+	}
+}
+
+func TestShapedPoissonValidation(t *testing.T) {
+	if _, err := NewShapedPoisson(0, Steady{}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := NewShapedPoisson(10, nil); err == nil {
+		t.Fatal("nil shape accepted")
+	}
+	// Next (the time-blind path) draws at the t=0 rate.
+	p, _ := NewShapedPoisson(10, Steady{})
+	rng := sim.NewRNG(3)
+	if p.Next(rng) <= 0 {
+		t.Fatal("non-positive gap")
+	}
+	// A shape dipping to zero is clamped, not allowed to stall the client.
+	z, _ := NewShapedPoisson(10, Flash{Base: 1, Peak: 0, StartSec: 0})
+	if g := z.NextAt(rng, 0); g <= 0 {
+		t.Fatal("clamped shape produced non-positive gap")
+	}
+}

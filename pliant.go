@@ -19,8 +19,11 @@
 //     every table and figure of the paper's evaluation.
 //   - The paper's extension paths: ACCEPT-style hint files for user-provided
 //     applications (ParseHints, Sec. 6.5), an online variant-impact learner
-//     (RuntimeLearner, Sec. 6.5), and cluster-level placement informed by
-//     the runtime's tolerance telemetry (RunCluster, Sec. 6.4).
+//     (RuntimeLearner, Sec. 6.5), batch cluster placement informed by the
+//     runtime's tolerance telemetry (RunCluster, Sec. 6.4), and an online,
+//     event-driven cluster scheduler (RunSched): jobs stream in over a
+//     horizon, services ride time-varying load shapes, and placement
+//     policies consume each node's live runtime telemetry.
 //
 // All randomness is seeded: equal configurations reproduce results
 // bit-for-bit. See DESIGN.md for the architecture and the
@@ -42,9 +45,11 @@ import (
 	"github.com/approx-sched/pliant/internal/export"
 	"github.com/approx-sched/pliant/internal/monitor"
 	"github.com/approx-sched/pliant/internal/platform"
+	"github.com/approx-sched/pliant/internal/sched"
 	"github.com/approx-sched/pliant/internal/service"
 	"github.com/approx-sched/pliant/internal/sim"
 	"github.com/approx-sched/pliant/internal/stats"
+	"github.com/approx-sched/pliant/internal/workload"
 )
 
 // Core simulation types.
@@ -239,6 +244,88 @@ func CompareClusterPolicies(cfg ClusterConfig, policies ...PlacementPolicy) ([]C
 // RenderClusterComparison formats a policy comparison table.
 func RenderClusterComparison(results []ClusterResult) string { return cluster.Render(results) }
 
+// Time-varying load shapes (cluster-horizon workloads).
+type (
+	// LoadShape is a deterministic time-varying load multiplier.
+	LoadShape = workload.Shape
+	// SteadyLoad is the constant shape (zero value = 1.0).
+	SteadyLoad = workload.Steady
+	// DiurnalLoad is a sinusoidal day: ±Amp around 1 over PeriodSec.
+	DiurnalLoad = workload.Diurnal
+	// FlashLoad is a step or flash crowd.
+	FlashLoad = workload.Flash
+	// ReplayLoad replays a recorded (time, multiplier) trace.
+	ReplayLoad = workload.Replay
+)
+
+// NewDiurnalLoad returns a validated diurnal shape.
+func NewDiurnalLoad(amp, periodSec float64) (DiurnalLoad, error) {
+	return workload.NewDiurnal(amp, periodSec)
+}
+
+// NewFlashLoad returns a validated step/flash-crowd shape.
+func NewFlashLoad(base, peak, startSec, durationSec float64) (FlashLoad, error) {
+	return workload.NewFlash(base, peak, startSec, durationSec)
+}
+
+// NewReplayLoad returns a validated trace-replay shape.
+func NewReplayLoad(timesSec, mult []float64) (ReplayLoad, error) {
+	return workload.NewReplay(timesSec, mult)
+}
+
+// Online cluster scheduling (the event-driven form of Sec. 6.4: job streams,
+// time-varying load, telemetry-fed placement).
+type (
+	// SchedConfig describes one online scheduling run.
+	SchedConfig = sched.Config
+	// SchedResult aggregates an online scheduling run.
+	SchedResult = sched.Result
+	// SchedJobOutcome is one job's record in a SchedResult.
+	SchedJobOutcome = sched.JobOutcome
+	// SchedPolicy decides placement at every scheduling window.
+	SchedPolicy = sched.Policy
+	// SchedJob is the job view offered to policies.
+	SchedJob = sched.Job
+	// SchedNodeState is the live node view offered to policies.
+	SchedNodeState = sched.NodeState
+	// NodeTelemetry is the Pliant runtime feedback a node feeds the
+	// scheduler.
+	NodeTelemetry = cluster.Telemetry
+	// FirstFitPlacement is the telemetry-blind online baseline.
+	FirstFitPlacement = sched.FirstFit
+	// BestFitPlacement packs slots tightest-first.
+	BestFitPlacement = sched.BestFit
+	// TelemetryAwarePlacement consumes live runtime telemetry and per-app
+	// pressure for placement and admission.
+	TelemetryAwarePlacement = sched.TelemetryAware
+)
+
+// RunSched executes one online scheduling study: jobs arrive over the
+// horizon, an online policy places or defers them at every scheduling
+// window, and each node runs its colocation under the Pliant runtime with
+// time-varying service load.
+func RunSched(cfg SchedConfig) (SchedResult, error) { return sched.Run(cfg) }
+
+// CompareSchedPolicies runs the same arrival stream under several online
+// policies.
+func CompareSchedPolicies(cfg SchedConfig, policies ...SchedPolicy) ([]SchedResult, error) {
+	return sched.Compare(cfg, policies...)
+}
+
+// RenderSchedComparison formats an online policy comparison table.
+func RenderSchedComparison(results []SchedResult) string { return sched.Render(results) }
+
+// WriteSchedResultJSON serializes an online scheduling result as JSON.
+func WriteSchedResultJSON(w io.Writer, res SchedResult) error {
+	return export.WriteSchedResultJSON(w, res)
+}
+
+// WriteSchedTraceCSV writes the cluster-horizon series (queue depth,
+// utilization, QoS-met fraction, …) as a CSV table.
+func WriteSchedTraceCSV(w io.Writer, res SchedResult) error {
+	return export.WriteSchedTraceCSV(w, res)
+}
+
 // Experiments.
 type (
 	// ExperimentProfile selects the execution scale of experiments.
@@ -260,7 +347,8 @@ func FullProfile() ExperimentProfile { return experiments.Full() }
 func Experiments() []ExperimentEntry { return experiments.Registry() }
 
 // RunExperiment runs one experiment by ID ("table1", "fig1dse", "fig1impact",
-// "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "overhead").
+// "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "overhead",
+// "sched").
 func RunExperiment(id string, p ExperimentProfile) (Renderer, error) {
 	e, err := experiments.ByID(id)
 	if err != nil {

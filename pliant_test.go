@@ -1,6 +1,7 @@
 package pliant_test
 
 import (
+	"strings"
 	"testing"
 
 	pliant "github.com/approx-sched/pliant"
@@ -130,7 +131,7 @@ func (pinMost) Decide(s pliant.PolicySnapshot) []pliant.PolicyAction {
 }
 
 func TestPublicExperimentRegistry(t *testing.T) {
-	if len(pliant.Experiments()) != 11 {
+	if len(pliant.Experiments()) != 12 {
 		t.Fatalf("registry size %d", len(pliant.Experiments()))
 	}
 	p := pliant.FastProfile()
@@ -144,4 +145,89 @@ func TestPublicExperimentRegistry(t *testing.T) {
 	if _, err := pliant.RunExperiment("nope", p); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
+}
+
+func TestPublicOnlineScheduler(t *testing.T) {
+	shape, err := pliant.NewDiurnalLoad(0.25, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pliant.SchedConfig{
+		Seed: 3,
+		Nodes: []pliant.ClusterNode{
+			{Name: "cache-1", Service: pliant.Memcached, MaxApps: 3},
+			{Name: "web-1", Service: pliant.NGINX, MaxApps: 3},
+			{Name: "db-1", Service: pliant.MongoDB, MaxApps: 3},
+		},
+		Policy:     pliant.TelemetryAwarePlacement{},
+		Horizon:    60 * pliant.Second,
+		Epoch:      10 * pliant.Second,
+		JobsPerSec: 0.15,
+		BaseLoad:   0.65,
+		Shape:      shape,
+		TimeScale:  32,
+	}
+	res, err := pliant.RunSched(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrived == 0 || res.Placed == 0 {
+		t.Fatalf("no jobs flowed: %+v", res)
+	}
+	var buf strings.Builder
+	if err := pliant.WriteSchedResultJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"policy": "telemetry-aware"`) {
+		t.Fatal("JSON export missing policy")
+	}
+	buf.Reset()
+	if err := pliant.WriteSchedTraceCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "queue.depth") {
+		t.Fatal("CSV export missing queue series")
+	}
+	out := pliant.RenderSchedComparison([]pliant.SchedResult{res})
+	if !strings.Contains(out, "telemetry-aware") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+// TestPublicCustomSchedPolicy routes a user-defined online policy through
+// the public surface, mirroring TestPublicCustomPolicy for the runtime.
+func TestPublicCustomSchedPolicy(t *testing.T) {
+	cfg := pliant.SchedConfig{
+		Seed: 4,
+		Nodes: []pliant.ClusterNode{
+			{Name: "a", Service: pliant.MongoDB, MaxApps: 2},
+			{Name: "b", Service: pliant.MongoDB, MaxApps: 2},
+		},
+		Policy:     lastFree{},
+		Horizon:    40 * pliant.Second,
+		Epoch:      10 * pliant.Second,
+		JobsPerSec: 0.1,
+		BaseLoad:   0.6,
+		TimeScale:  32,
+	}
+	res, err := pliant.RunSched(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "last-free" {
+		t.Fatalf("policy %q", res.Policy)
+	}
+}
+
+type lastFree struct{}
+
+func (lastFree) Name() string { return "last-free" }
+
+func (lastFree) Place(_ pliant.SchedJob, nodes []pliant.SchedNodeState) int {
+	for i := len(nodes) - 1; i >= 0; i-- {
+		if nodes[i].Free > 0 {
+			return nodes[i].Index
+		}
+	}
+	return -1
 }
