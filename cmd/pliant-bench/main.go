@@ -7,6 +7,7 @@
 //	pliant-bench -list           # list experiment IDs
 //	pliant-bench -full           # paper-scale parameters (hours of CPU)
 //	pliant-bench -seed 7 -par 8  # override seed / parallelism
+//	pliant-bench -json -label PR2  # write the BENCH_PR2.json perf trajectory
 package main
 
 import (
@@ -26,8 +27,18 @@ func main() {
 		seed    = flag.Uint64("seed", 0, "override the root seed")
 		par     = flag.Int("par", 0, "parallel scenario workers (default GOMAXPROCS)")
 		allApps = flag.Bool("allapps", false, "cover all 24 applications at the fast timescale")
+		jsonOut = flag.Bool("json", false, "run the perf-trajectory benchmark suite and write BENCH_<label>.json")
+		label   = flag.String("label", "dev", "label for the -json trajectory file")
 	)
 	flag.Parse()
+
+	if *jsonOut {
+		if err := runTrajectory(*label); err != nil {
+			fmt.Fprintf(os.Stderr, "pliant-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range pliant.Experiments() {

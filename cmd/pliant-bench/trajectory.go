@@ -1,0 +1,172 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	pliant "github.com/approx-sched/pliant"
+	"github.com/approx-sched/pliant/internal/sim"
+)
+
+// benchRecord is one benchmark's entry in the perf-trajectory file.
+type benchRecord struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// trajectory is the BENCH_<label>.json document: the repo accumulates one
+// per PR, so performance over time is a `jq` away.
+type trajectory struct {
+	Label      string        `json:"label"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+// record folds a testing.Benchmark result into a trajectory entry.
+func record(name string, r testing.BenchmarkResult) benchRecord {
+	out := benchRecord{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if len(r.Extra) > 0 {
+		out.Metrics = make(map[string]float64, len(r.Extra))
+		for k, v := range r.Extra {
+			out.Metrics[k] = v
+		}
+	}
+	return out
+}
+
+// scenarioBenchConfig mirrors BenchmarkScenarioPliant in bench_test.go.
+func scenarioBenchConfig(seed uint64) pliant.ScenarioConfig {
+	return pliant.ScenarioConfig{
+		Seed:         seed,
+		Service:      pliant.Memcached,
+		AppNames:     []string{"canneal"},
+		Runtime:      pliant.RuntimePliant,
+		LoadFraction: 0.78,
+		TimeScale:    16,
+	}
+}
+
+// schedBenchConfig mirrors the diurnal-day scenario in bench_test.go.
+func schedBenchConfig(policy pliant.SchedPolicy) pliant.SchedConfig {
+	shape, _ := pliant.NewDiurnalLoad(0.25, 120)
+	return pliant.SchedConfig{
+		Seed: 42,
+		Nodes: []pliant.ClusterNode{
+			{Name: "cache-1", Service: pliant.Memcached, MaxApps: 3},
+			{Name: "web-1", Service: pliant.NGINX, MaxApps: 3},
+			{Name: "db-1", Service: pliant.MongoDB, MaxApps: 3},
+		},
+		Policy:     policy,
+		Horizon:    120 * pliant.Second,
+		Epoch:      10 * pliant.Second,
+		JobsPerSec: 0.10,
+		BaseLoad:   0.65,
+		Shape:      shape,
+		TimeScale:  16,
+	}
+}
+
+// runTrajectory executes the perf-trajectory suite with testing.Benchmark
+// and writes BENCH_<label>.json into the current directory.
+func runTrajectory(label string) error {
+	var t trajectory
+	t.Label = label
+	t.GoVersion = runtime.Version()
+	t.GOOS, t.GOARCH = runtime.GOOS, runtime.GOARCH
+
+	// Steady-state typed event dispatch: the cost floor of every simulation.
+	t.Benchmarks = append(t.Benchmarks, record("EventDispatchTyped", testing.Benchmark(func(b *testing.B) {
+		eng := sim.NewEngine()
+		var h rearmHandler
+		h.eng = eng
+		eng.ScheduleTyped(1, &h, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.Step()
+		}
+	})))
+
+	// One managed colocation end to end, reporting simulated requests per
+	// wall second.
+	t.Benchmarks = append(t.Benchmarks, record("ScenarioPliant", testing.Benchmark(func(b *testing.B) {
+		var served uint64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := pliant.RunScenario(scenarioBenchConfig(uint64(i + 1)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			served += res.Served
+		}
+		b.ReportMetric(float64(served)/b.Elapsed().Seconds(), "requests/s")
+	})))
+
+	// One compressed day of online scheduling per policy.
+	for _, pol := range []pliant.SchedPolicy{
+		pliant.FirstFitPlacement{},
+		pliant.TelemetryAwarePlacement{},
+	} {
+		pol := pol
+		t.Benchmarks = append(t.Benchmarks, record("SchedDiurnal/"+pol.Name(), testing.Benchmark(func(b *testing.B) {
+			var met float64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := pliant.RunSched(schedBenchConfig(pol))
+				if err != nil {
+					b.Fatal(err)
+				}
+				met += res.QoSMetFrac
+			}
+			b.ReportMetric(met/float64(b.N), "QoSMetFrac")
+		})))
+	}
+
+	path := fmt.Sprintf("BENCH_%s.json", label)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(t); err != nil {
+		return err
+	}
+	fmt.Printf("pliant-bench: wrote %s (%d benchmarks)\n", path, len(t.Benchmarks))
+	for _, r := range t.Benchmarks {
+		fmt.Printf("  %-28s %12.1f ns/op %8d allocs/op", r.Name, r.NsPerOp, r.AllocsPerOp)
+		for k, v := range r.Metrics {
+			fmt.Printf("  %s=%.4g", k, v)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// rearmHandler schedules its successor on every fire, modeling the
+// steady-state request path.
+type rearmHandler struct {
+	eng   *sim.Engine
+	count uint64
+}
+
+func (h *rearmHandler) OnEvent(now sim.Time, _ uint64) {
+	h.count++
+	h.eng.ScheduleTyped(now+sim.Time(1+h.count%7), h, 0)
+}

@@ -1,0 +1,139 @@
+// Golden determinism tests for the simulation core. The constants below were
+// recorded from the closure-based container/heap engine before the
+// allocation-free rewrite (PR 2); the rewritten engine, service, client,
+// histogram, and episode-scratch paths must reproduce them byte for byte.
+// They complement TestSchedExportDeterminism (same-binary determinism) by
+// pinning outputs across refactors of the hot path.
+//
+// To re-record after an intentional semantic change, run:
+//
+//	PLIANT_GOLDEN=print go test -run TestGolden -v .
+//
+// and update the constants from the log output.
+package pliant_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"testing"
+
+	pliant "github.com/approx-sched/pliant"
+)
+
+// goldenScenario is the recorded outcome of one managed colocation episode:
+// the BenchmarkScenarioPliant configuration at seed 7.
+const (
+	goldenScenarioServed  = 591649
+	goldenScenarioDropped = 258
+	goldenScenarioP99     = 11635107
+	goldenScenarioJSON    = "ef9132c0d06d778cc33acd9b0dee2d80b774a2e6dc291a4453cf1f6b08c6bea5"
+	goldenScenarioCSV     = "95e2a13ad2cfd2de68d2cade5278019363df7b6a62737d90549e0026f70cd23d"
+
+	goldenSchedQoSMetFrac = "0.44444444444444442"
+	goldenSchedJSON       = "b7758dd2a67a76d2ec66e12b808c012bf2cce36cf66fe75cea536188d12dfd45"
+	goldenSchedCSV        = "62f944ed835457cceb8e79e3872b9fa822e9e2675b667ff5bfd5478020d4f3ed"
+)
+
+func goldenScenarioConfig() pliant.ScenarioConfig {
+	return pliant.ScenarioConfig{
+		Seed:         7,
+		Service:      pliant.Memcached,
+		AppNames:     []string{"canneal"},
+		Runtime:      pliant.RuntimePliant,
+		LoadFraction: 0.78,
+		TimeScale:    16,
+	}
+}
+
+func goldenSchedConfig() pliant.SchedConfig {
+	shape, _ := pliant.NewDiurnalLoad(0.25, 60)
+	return pliant.SchedConfig{
+		Seed: 42,
+		Nodes: []pliant.ClusterNode{
+			{Name: "cache-1", Service: pliant.Memcached, MaxApps: 2},
+			{Name: "web-1", Service: pliant.NGINX, MaxApps: 2},
+		},
+		Policy:     pliant.FirstFitPlacement{},
+		Horizon:    60 * pliant.Second,
+		Epoch:      10 * pliant.Second,
+		JobsPerSec: 0.15,
+		BaseLoad:   0.65,
+		Shape:      shape,
+		TimeScale:  16,
+	}
+}
+
+func sha(b []byte) string {
+	s := sha256.Sum256(b)
+	return hex.EncodeToString(s[:])
+}
+
+func TestGoldenScenario(t *testing.T) {
+	res, err := pliant.RunScenario(goldenScenarioConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var js, csv bytes.Buffer
+	if err := pliant.WriteResultJSON(&js, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := pliant.WriteTraceCSV(&csv, res); err != nil {
+		t.Fatal(err)
+	}
+	if os.Getenv("PLIANT_GOLDEN") == "print" {
+		t.Logf("goldenScenarioServed  = %d", res.Served)
+		t.Logf("goldenScenarioDropped = %d", res.Dropped)
+		t.Logf("goldenScenarioP99     = %d", int64(res.OverallP99))
+		t.Logf("goldenScenarioJSON    = %q", sha(js.Bytes()))
+		t.Logf("goldenScenarioCSV     = %q", sha(csv.Bytes()))
+		return
+	}
+	if res.Served != goldenScenarioServed {
+		t.Errorf("Served = %d, golden %d", res.Served, goldenScenarioServed)
+	}
+	if res.Dropped != goldenScenarioDropped {
+		t.Errorf("Dropped = %d, golden %d", res.Dropped, goldenScenarioDropped)
+	}
+	if int64(res.OverallP99) != goldenScenarioP99 {
+		t.Errorf("OverallP99 = %d, golden %d", int64(res.OverallP99), goldenScenarioP99)
+	}
+	if got := sha(js.Bytes()); got != goldenScenarioJSON {
+		t.Errorf("result JSON hash = %s, golden %s", got, goldenScenarioJSON)
+	}
+	if got := sha(csv.Bytes()); got != goldenScenarioCSV {
+		t.Errorf("trace CSV hash = %s, golden %s", got, goldenScenarioCSV)
+	}
+}
+
+func TestGoldenSched(t *testing.T) {
+	res, err := pliant.RunSched(goldenSchedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var js, csv bytes.Buffer
+	if err := pliant.WriteSchedResultJSON(&js, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := pliant.WriteSchedTraceCSV(&csv, res); err != nil {
+		t.Fatal(err)
+	}
+	qos := fmt.Sprintf("%.17g", res.QoSMetFrac)
+	if os.Getenv("PLIANT_GOLDEN") == "print" {
+		t.Logf("goldenSchedQoSMetFrac = %q", qos)
+		t.Logf("goldenSchedJSON       = %q", sha(js.Bytes()))
+		t.Logf("goldenSchedCSV        = %q", sha(csv.Bytes()))
+		return
+	}
+	if qos != goldenSchedQoSMetFrac {
+		t.Errorf("QoSMetFrac = %s, golden %s", qos, goldenSchedQoSMetFrac)
+	}
+	if got := sha(js.Bytes()); got != goldenSchedJSON {
+		t.Errorf("sched JSON hash = %s, golden %s", got, goldenSchedJSON)
+	}
+	if got := sha(csv.Bytes()); got != goldenSchedCSV {
+		t.Errorf("sched trace CSV hash = %s, golden %s", got, goldenSchedCSV)
+	}
+}

@@ -67,15 +67,22 @@ func (g *Generator) nextGap() sim.Duration {
 	return g.arrival.Next(g.rng)
 }
 
+// scheduleNext arms the next arrival through the typed-event path: the
+// generator itself is the handler, so the open-loop tick allocates nothing.
+// Arrival timestamps never decrease (each is scheduled from the previous
+// arrival), so they take the engine's sift-free monotone lane.
 func (g *Generator) scheduleNext() {
-	g.eng.After(g.nextGap(), func() {
-		if g.stopped {
-			return
-		}
-		g.sent++
-		g.svc.Arrive()
-		g.scheduleNext()
-	})
+	g.eng.AfterMonotoneTyped(g.nextGap(), g, 0)
+}
+
+// OnEvent implements sim.EventHandler: one arrival tick.
+func (g *Generator) OnEvent(sim.Time, uint64) {
+	if g.stopped {
+		return
+	}
+	g.sent++
+	g.svc.Arrive()
+	g.scheduleNext()
 }
 
 // SetRate replaces the arrival process with a Poisson process at the given

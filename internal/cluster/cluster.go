@@ -78,6 +78,10 @@ type NodeRun struct {
 	TimeScale    float64
 	MaxDuration  sim.Duration
 	OnReport     func(monitor.Report) // mid-run telemetry feed
+
+	// Scratch is optional reusable episode state owned by the calling
+	// worker; see colocate.Scratch.
+	Scratch *colocate.Scratch
 }
 
 // RunNode executes one node episode.
@@ -93,6 +97,7 @@ func RunNode(r NodeRun) (colocate.Result, error) {
 		TimeScale:    r.TimeScale,
 		MaxDuration:  r.MaxDuration,
 		OnReport:     r.OnReport,
+		Scratch:      r.Scratch,
 	})
 }
 

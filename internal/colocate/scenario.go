@@ -136,6 +136,12 @@ type Config struct {
 	// fires after the runtime policy has actuated and must not mutate the
 	// scenario.
 	OnReport func(monitor.Report)
+
+	// Scratch, when set, supplies reusable episode state (engine arenas,
+	// histograms) owned by the caller's worker. Results are identical with or
+	// without it; it only removes per-episode allocations. Must not be shared
+	// by concurrent runs.
+	Scratch *Scratch
 }
 
 // withDefaults fills zero values.
@@ -303,11 +309,17 @@ type scenario struct {
 
 func build(cfg Config) (*scenario, error) {
 	s := &scenario{
-		cfg:       cfg,
-		eng:       sim.NewEngine(),
-		rng:       sim.NewRNG(cfg.Seed),
-		histogram: stats.NewLatencyHistogram(),
-		trace:     stats.NewTrace(),
+		cfg:   cfg,
+		rng:   sim.NewRNG(cfg.Seed),
+		trace: stats.NewTrace(),
+	}
+	if cfg.Scratch != nil {
+		s.eng = cfg.Scratch.engine()
+		s.histogram = cfg.Scratch.latencyHist()
+		s.intervalP99s = cfg.Scratch.intervalBuf()
+	} else {
+		s.eng = sim.NewEngine()
+		s.histogram = stats.NewLatencyHistogram()
 	}
 
 	var err error
@@ -413,6 +425,9 @@ func build(cfg Config) (*scenario, error) {
 	// Monitor on the service's QoS.
 	monCfg := monitor.DefaultConfig(svcCfg.QoS)
 	monCfg.Interval = cfg.DecisionInterval
+	if cfg.Scratch != nil {
+		monCfg.Scratch = cfg.Scratch.monitorHist()
+	}
 	s.mon, err = monitor.New(s.eng, monCfg, s.onReport)
 	if err != nil {
 		return nil, err
@@ -609,6 +624,9 @@ func (s *scenario) run() (Result, error) {
 	}
 	s.eng.Run(sim.Time(horizon))
 	s.advanceApps()
+	if s.cfg.Scratch != nil {
+		s.cfg.Scratch.keepIntervalBuf(s.intervalP99s)
+	}
 
 	res := Result{
 		Service:        service.Preset(s.cfg.Service).Name,

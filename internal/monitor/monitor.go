@@ -51,6 +51,11 @@ type Config struct {
 	// p99 was within ±25% of QoS — near the boundary the monitor samples
 	// more densely.
 	DenseFactor uint64
+
+	// Scratch, when non-nil, is a caller-owned latency histogram the monitor
+	// uses (and clears) instead of allocating its own — episode runners
+	// recycle it across windows. Must not be shared with a live monitor.
+	Scratch *stats.Histogram
 }
 
 // DefaultConfig returns the paper's monitoring configuration: 1-second
@@ -87,6 +92,7 @@ type Monitor struct {
 
 	hist   *stats.Histogram
 	stride uint64 // record every stride-th completion
+	left   uint64 // completions until the next sample (countdown from stride)
 	seen   uint64 // completions this interval
 	taken  uint64 // samples this interval
 
@@ -107,11 +113,18 @@ func New(eng *sim.Engine, cfg Config, onReport func(Report)) (*Monitor, error) {
 	if onReport == nil {
 		onReport = func(Report) {}
 	}
+	hist := cfg.Scratch
+	if hist == nil {
+		hist = stats.NewLatencyHistogram()
+	} else {
+		hist.Reset()
+	}
 	m := &Monitor{
 		cfg:      cfg,
 		eng:      eng,
-		hist:     stats.NewLatencyHistogram(),
+		hist:     hist,
 		stride:   1,
+		left:     1,
 		onReport: onReport,
 	}
 	m.stopTick = eng.Ticker(cfg.Interval, m.tick)
@@ -119,12 +132,15 @@ func New(eng *sim.Engine, cfg Config, onReport func(Report)) (*Monitor, error) {
 }
 
 // Observe records the completion of one request with its end-to-end latency.
-// It must be cheap: it is called for every completed request.
+// It must be cheap: it is called for every completed request, so the stride
+// is a countdown rather than a modulo.
 func (m *Monitor) Observe(latency sim.Duration) {
 	m.seen++
-	if m.seen%m.stride != 0 {
+	m.left--
+	if m.left > 0 {
 		return
 	}
+	m.left = m.stride
 	m.taken++
 	m.hist.Record(float64(latency))
 }
@@ -176,12 +192,15 @@ func (m *Monitor) retarget(p99 sim.Duration) {
 	}
 	if m.seen == 0 || m.seen <= target {
 		m.stride = 1
-		return
+	} else {
+		m.stride = m.seen / target
+		if m.stride < 1 {
+			m.stride = 1
+		}
 	}
-	m.stride = m.seen / target
-	if m.stride < 1 {
-		m.stride = 1
-	}
+	// A fresh interval starts counting from the new stride, exactly as the
+	// historical seen%stride==0 rule did after seen reset to zero.
+	m.left = m.stride
 }
 
 // nearBoundary reports whether the p99 is within ±25% of the QoS target.

@@ -10,6 +10,7 @@ package platform
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Spec describes a server model. All capacities refer to one socket, since
@@ -115,6 +116,7 @@ type Allocation struct {
 	spec   Spec
 	counts map[TenantID]int
 	order  []TenantID
+	used   int // running sum of counts, so Free is O(1)
 }
 
 // NewAllocation returns an empty allocation over spec's usable cores.
@@ -128,13 +130,11 @@ func NewAllocation(spec Spec) (*Allocation, error) {
 // Spec returns the server spec backing this allocation.
 func (a *Allocation) Spec() Spec { return a.spec }
 
-// Free returns the number of unassigned cores.
+// Free returns the number of unassigned cores. The used total is maintained
+// incrementally, so this is O(1) — it sits on the controller's
+// reclaim/return path.
 func (a *Allocation) Free() int {
-	used := 0
-	for _, c := range a.counts {
-		used += c
-	}
-	return a.spec.UsableCores() - used
+	return a.spec.UsableCores() - a.used
 }
 
 // Cores returns the number of cores tenant currently owns.
@@ -157,6 +157,7 @@ func (a *Allocation) Grant(t TenantID, n int) error {
 		a.order = append(a.order, t)
 	}
 	a.counts[t] += n
+	a.used += n
 	return nil
 }
 
@@ -172,6 +173,7 @@ func (a *Allocation) Revoke(t TenantID, n int) error {
 		return fmt.Errorf("platform: revoking %d cores from %s which has %d", n, t, a.counts[t])
 	}
 	a.counts[t] -= n
+	a.used -= n
 	return nil
 }
 
@@ -184,6 +186,7 @@ func (a *Allocation) Move(from, to TenantID, n int) error {
 		// Roll back; Grant can only fail on bookkeeping bugs since Revoke
 		// freed exactly n cores.
 		a.counts[from] += n
+		a.used += n
 		return err
 	}
 	return nil
@@ -205,6 +208,7 @@ func (a *Allocation) FairShare(tenants ...TenantID) error {
 	}
 	a.counts = make(map[TenantID]int, len(tenants))
 	a.order = append([]TenantID(nil), tenants...)
+	a.used = 0
 	total := a.spec.UsableCores()
 	base := total / len(tenants)
 	rem := total % len(tenants)
@@ -214,6 +218,7 @@ func (a *Allocation) FairShare(tenants ...TenantID) error {
 			c++
 		}
 		a.counts[t] = c
+		a.used += c
 	}
 	return nil
 }
@@ -231,12 +236,14 @@ func (a *Allocation) Snapshot() map[TenantID]int {
 func (a *Allocation) String() string {
 	ids := append([]TenantID(nil), a.order...)
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	s := ""
+	var b strings.Builder
+	b.WriteString("cores{")
 	for i, id := range ids {
 		if i > 0 {
-			s += " "
+			b.WriteByte(' ')
 		}
-		s += fmt.Sprintf("%s=%d", id, a.counts[id])
+		fmt.Fprintf(&b, "%s=%d", id, a.counts[id])
 	}
-	return fmt.Sprintf("cores{%s free=%d}", s, a.Free())
+	fmt.Fprintf(&b, " free=%d}", a.Free())
+	return b.String()
 }

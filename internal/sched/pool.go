@@ -2,18 +2,20 @@ package sched
 
 import "sync"
 
-// runPool executes fn(0..n-1) on at most `workers` goroutines. Tasks are
-// independent node-episode simulations, each on its own engine, writing into
-// disjoint result slots — so the pool adds wall-clock parallelism without
-// perturbing determinism. With one worker (or one task) it degenerates to a
-// sequential loop.
-func runPool(workers, n int, fn func(i int)) {
+// runPool executes fn(w, 0..n-1) on at most `workers` goroutines, where w is
+// the stable index of the worker running the task — the handle for
+// per-worker scratch state (each worker runs its tasks sequentially, so
+// scratch indexed by w is never shared). Tasks are independent node-episode
+// simulations, each on its own engine, writing into disjoint result slots —
+// so the pool adds wall-clock parallelism without perturbing determinism.
+// With one worker (or one task) it degenerates to a sequential loop.
+func runPool(workers, n int, fn func(worker, i int)) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -21,12 +23,12 @@ func runPool(workers, n int, fn func(i int)) {
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range next {
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		next <- i

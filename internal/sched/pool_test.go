@@ -9,7 +9,7 @@ import (
 func TestPoolRunsEveryTask(t *testing.T) {
 	for _, workers := range []int{1, 2, 8, 100} {
 		seen := make([]int32, 57)
-		runPool(workers, len(seen), func(i int) { atomic.AddInt32(&seen[i], 1) })
+		runPool(workers, len(seen), func(_, i int) { atomic.AddInt32(&seen[i], 1) })
 		for i, n := range seen {
 			if n != 1 {
 				t.Fatalf("workers=%d: task %d ran %d times", workers, i, n)
@@ -17,7 +17,7 @@ func TestPoolRunsEveryTask(t *testing.T) {
 		}
 	}
 	// Zero tasks is a no-op.
-	runPool(4, 0, func(int) { t.Fatal("ran a task for n=0") })
+	runPool(4, 0, func(int, int) { t.Fatal("ran a task for n=0") })
 }
 
 // TestPoolActuallyParallel proves the pool overlaps tasks: two tasks that
@@ -29,7 +29,7 @@ func TestPoolActuallyParallel(t *testing.T) {
 	wg.Add(2)
 	done := make(chan struct{})
 	go func() {
-		runPool(2, 2, func(int) {
+		runPool(2, 2, func(int, int) {
 			wg.Done()
 			wg.Wait() // blocks until the *other* task has also started
 		})
@@ -41,7 +41,7 @@ func TestPoolActuallyParallel(t *testing.T) {
 func TestPoolSequentialWhenOneWorker(t *testing.T) {
 	// With one worker tasks must run in index order.
 	var order []int
-	runPool(1, 5, func(i int) { order = append(order, i) })
+	runPool(1, 5, func(_, i int) { order = append(order, i) })
 	for i, v := range order {
 		if v != i {
 			t.Fatalf("sequential order %v", order)

@@ -155,6 +155,9 @@ func (c Config) withDefaults() Config {
 	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	if c.Workers < 1 {
+		c.Workers = 1 // negative means serial, as runPool has always treated it
+	}
 	if c.JobsPerSec == 0 && c.Arrivals == nil {
 		slots := 0
 		for _, n := range c.Nodes {
@@ -276,6 +279,12 @@ type run struct {
 	utilN    int
 	trace    *stats.Trace
 	err      error
+
+	// scratch[w] is worker w's reusable episode state: engine arenas and
+	// histograms recycled across the thousands of node-window episodes a run
+	// simulates. Workers never share a scratch, and reuse does not perturb
+	// results (see colocate.Scratch).
+	scratch []*colocate.Scratch
 }
 
 // Run executes one online scheduling study.
@@ -297,6 +306,10 @@ func Run(cfg Config) (Result, error) {
 	for _, n := range cfg.Nodes {
 		s.nodes = append(s.nodes, &nodeRT{node: n})
 		s.slots += n.MaxApps
+	}
+	s.scratch = make([]*colocate.Scratch, cfg.Workers)
+	for w := range s.scratch {
+		s.scratch[w] = &colocate.Scratch{}
 	}
 
 	arrivals := cfg.Arrivals
@@ -398,7 +411,7 @@ func (s *run) simulateWindow(now sim.Time) {
 		}
 	}
 	results := make([]episode, len(s.nodes))
-	runPool(s.cfg.Workers, len(busyIdx), func(k int) {
+	runPool(s.cfg.Workers, len(busyIdx), func(worker, k int) {
 		i := busyIdx[k]
 		n := s.nodes[i]
 		names := make([]string, len(n.resident))
@@ -418,6 +431,7 @@ func (s *run) simulateWindow(now sim.Time) {
 			TimeScale:    s.cfg.TimeScale,
 			MaxDuration:  s.cfg.Epoch,
 			OnReport:     tel.Observe,
+			Scratch:      s.scratch[worker],
 		})
 		results[i] = episode{apps: res.Apps, tel: tel, err: err}
 	})

@@ -179,6 +179,17 @@ func TestWorkerPoolInvariance(t *testing.T) {
 	}
 }
 
+func TestNegativeWorkersRunsSerially(t *testing.T) {
+	// Workers < 0 has always meant the serial path; it must not panic on the
+	// per-worker scratch allocation.
+	cfg := fastConfig(FirstFit{})
+	cfg.Horizon = 20 * sim.Second
+	cfg.Workers = -1
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestArrivalOverrideAndJobNames(t *testing.T) {
 	cfg := fastConfig(FirstFit{})
 	cfg.Arrivals = workload.Uniform{QPS: 0.2}

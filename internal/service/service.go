@@ -112,8 +112,19 @@ type Instance struct {
 	cores    int
 	slowdown float64
 
+	// demand is the compiled form of cfg.Demand (same value stream, constants
+	// hoisted), used on the per-request path.
+	demand workload.Sampler
+
+	// inflation, meanDemand, and qcap cache effectiveInflation(), the mean
+	// inflated demand, and queueCap(): they change only on
+	// SetCores/SetSlowdown, not per request.
+	inflation  float64
+	meanDemand float64
+	qcap       int
+
 	busy  int
-	queue []pendingRequest
+	queue reqRing
 
 	onLatency func(sim.Duration)
 
@@ -124,6 +135,41 @@ type Instance struct {
 type pendingRequest struct {
 	arrived sim.Time
 	demand  float64 // seconds, nominal
+}
+
+// reqRing is a growable ring buffer of pending requests: FIFO semantics
+// without the per-pop slice shift and reallocation of a `queue = queue[1:]`
+// slice. Capacity is retained across bursts, so the steady state allocates
+// nothing.
+type reqRing struct {
+	buf  []pendingRequest
+	head int
+	n    int
+}
+
+// Len returns the number of queued requests.
+func (r *reqRing) Len() int { return r.n }
+
+// Push appends a request, growing the backing array when full.
+func (r *reqRing) Push(req pendingRequest) {
+	if r.n == len(r.buf) {
+		grown := make([]pendingRequest, max(16, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf = grown
+		r.head = 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = req
+	r.n++
+}
+
+// Pop removes and returns the oldest request; it panics on an empty ring.
+func (r *reqRing) Pop() pendingRequest {
+	req := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return req
 }
 
 // New creates a service instance bound to an engine. The latency callback
@@ -139,14 +185,41 @@ func New(eng *sim.Engine, rng *sim.RNG, cfg Config, cores int, onLatency func(si
 	if onLatency == nil {
 		onLatency = func(sim.Duration) {}
 	}
-	return &Instance{
+	s := &Instance{
 		cfg:       cfg,
 		eng:       eng,
 		rng:       rng,
 		cores:     cores,
 		slowdown:  1.0,
+		demand:    compileSampler(cfg.Demand),
 		onLatency: onLatency,
-	}, nil
+	}
+	s.recalc()
+	return s, nil
+}
+
+// compileSampler hoists per-sample constants out of the demand sampler,
+// looking through the Scaled() wrapper (and flattening it, so the hot path
+// pays one interface dispatch instead of two).
+func compileSampler(d workload.Sampler) workload.Sampler {
+	if sc, ok := d.(scaledSampler); ok {
+		if flat := workload.CompileScaled(sc.inner, sc.f); flat != nil {
+			return flat
+		}
+		return scaledSampler{inner: workload.Compile(sc.inner), f: sc.f}
+	}
+	return workload.Compile(d)
+}
+
+// recalc refreshes the cached per-request constants after a control change.
+func (s *Instance) recalc() {
+	s.inflation = 1 - s.cfg.ContentionShare + s.cfg.ContentionShare*s.slowdown
+	s.meanDemand = s.cfg.Demand.Mean() * s.inflation
+	cap := int(s.cfg.MaxBacklog.Seconds() / s.cfg.Demand.Mean() * float64(s.workers()))
+	if cap < 4 {
+		cap = 4
+	}
+	s.qcap = cap
 }
 
 // Config returns the service configuration.
@@ -162,7 +235,7 @@ func (s *Instance) Served() uint64 { return s.served }
 func (s *Instance) Dropped() uint64 { return s.dropped }
 
 // QueueLen returns the number of requests waiting (not in service).
-func (s *Instance) QueueLen() int { return len(s.queue) }
+func (s *Instance) QueueLen() int { return s.queue.Len() }
 
 // workers returns the current number of request-serving workers.
 func (s *Instance) workers() int { return s.cores * s.cfg.WorkersPerCore }
@@ -175,6 +248,7 @@ func (s *Instance) SetCores(n int) {
 		n = 1
 	}
 	s.cores = n
+	s.recalc()
 	s.drainQueue()
 }
 
@@ -185,29 +259,20 @@ func (s *Instance) SetSlowdown(f float64) {
 		f = 1
 	}
 	s.slowdown = f
+	s.recalc()
 }
 
 // Slowdown returns the current contention inflation factor.
 func (s *Instance) Slowdown() float64 { return s.slowdown }
 
-// queueCap returns the backlog bound in requests: the number of requests the
-// current worker pool clears in MaxBacklog at nominal speed.
-func (s *Instance) queueCap() int {
-	cap := int(s.cfg.MaxBacklog.Seconds() / s.cfg.Demand.Mean() * float64(s.workers()))
-	if cap < 4 {
-		cap = 4
-	}
-	return cap
-}
-
 // Arrive submits one request to the service at the current simulation time.
 func (s *Instance) Arrive() {
-	req := pendingRequest{arrived: s.eng.Now(), demand: s.cfg.Demand.Sample(s.rng)}
+	req := pendingRequest{arrived: s.eng.Now(), demand: s.demand.Sample(s.rng)}
 	if s.busy < s.workers() {
 		s.start(req)
 		return
 	}
-	if len(s.queue) >= s.queueCap() {
+	if s.queue.Len() >= s.qcap {
 		// Queue overflow: the request is turned away. Count it as a
 		// worst-case latency observation — an estimate of the sojourn it
 		// would have seen — so the p99 reflects the overload instead of
@@ -217,45 +282,40 @@ func (s *Instance) Arrive() {
 		s.onLatency(est)
 		return
 	}
-	s.queue = append(s.queue, req)
+	s.queue.Push(req)
 }
 
 // estimatedSojourn approximates the latency a request joining the full queue
 // would experience: queue length times mean inflated demand over workers.
 func (s *Instance) estimatedSojourn() sim.Duration {
-	meanDemand := s.cfg.Demand.Mean() * s.effectiveInflation()
-	perWorker := float64(len(s.queue)+s.busy) * meanDemand / float64(s.workers())
+	perWorker := float64(s.queue.Len()+s.busy) * s.meanDemand / float64(s.workers())
 	return sim.DurationOf(perWorker)
-}
-
-func (s *Instance) effectiveInflation() float64 {
-	return 1 - s.cfg.ContentionShare + s.cfg.ContentionShare*s.slowdown
 }
 
 func (s *Instance) start(req pendingRequest) {
 	s.busy++
-	serviceTime := sim.DurationOf(req.demand * s.effectiveInflation())
+	serviceTime := sim.DurationOf(req.demand * s.inflation)
 	if serviceTime <= 0 {
 		serviceTime = 1
 	}
-	s.eng.After(serviceTime, func() { s.complete(req) })
+	// Completion rides the typed-event path: the instance is the handler and
+	// the request's arrival instant the payload word, so the per-request hot
+	// path captures no closure and allocates nothing.
+	s.eng.AfterTyped(serviceTime, s, uint64(req.arrived))
 }
 
-func (s *Instance) complete(req pendingRequest) {
+// OnEvent implements sim.EventHandler: a request completion. The payload word
+// is the request's arrival instant.
+func (s *Instance) OnEvent(now sim.Time, arg uint64) {
 	s.busy--
 	s.served++
-	s.onLatency(s.eng.Now().Sub(req.arrived))
+	s.onLatency(now.Sub(sim.Time(arg)))
 	s.drainQueue()
 }
 
 func (s *Instance) drainQueue() {
-	for s.busy < s.workers() && len(s.queue) > 0 {
-		req := s.queue[0]
-		s.queue = s.queue[1:]
-		if len(s.queue) == 0 {
-			s.queue = nil // release backing array after bursts
-		}
-		s.start(req)
+	for s.busy < s.workers() && s.queue.Len() > 0 {
+		s.start(s.queue.Pop())
 	}
 }
 

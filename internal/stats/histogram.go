@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Histogram is a log-bucketed histogram in the spirit of HdrHistogram: values
@@ -18,12 +19,145 @@ import (
 type Histogram struct {
 	min, max         float64 // representable range
 	bucketsPerOctave int
+	table            *bucketTable
 	counts           []uint64
 	total            uint64
 	sum              float64
 	observedMin      float64
 	observedMax      float64
 	underflow        uint64 // values below min are clamped into bucket 0 but counted here too
+}
+
+// bucketTable holds the precomputed bucket geometry of one histogram
+// configuration: exact value-space bucket boundaries, representative values,
+// and a per-binade index for bits-based bucket lookup. Tables are immutable
+// and shared across all histograms with the same configuration, so the many
+// short-lived episode histograms pay construction cost once per process.
+//
+// Boundaries replicate the truncation of the historical formula
+// int(math.Log2(v/min) * bpo) bit for bit — bucket assignment, and therefore
+// every exported quantile, is unchanged by the fast path.
+type bucketTable struct {
+	n int
+
+	// thresholds[k] is the smallest value whose bucket index is k+1; bucket i
+	// covers [thresholds[i-1], thresholds[i]).
+	thresholds []float64
+
+	// values[i] is bucket i's representative (geometric midpoint) value.
+	values []float64
+
+	// lut[j<<8|m] counts thresholds at or below the smallest value whose
+	// IEEE-754 biased exponent is expLo+j and whose top 8 mantissa bits are
+	// m. A lookup plus at most a step or two of forward scan resolves the
+	// bucket (a 1/256-binade slice holds more than one threshold only above
+	// 177 buckets/octave).
+	lut      []int32
+	nBinades int
+	expLo    int // biased exponent of min's binade
+}
+
+// tableKey identifies a histogram configuration in the table cache.
+type tableKey struct {
+	min, max float64
+	bpo      int
+}
+
+var tableCache sync.Map // tableKey -> *bucketTable
+
+// tableFor returns the shared bucket table for a configuration, building it
+// on first use.
+func tableFor(min, max float64, bpo, n int) *bucketTable {
+	key := tableKey{min: min, max: max, bpo: bpo}
+	if t, ok := tableCache.Load(key); ok {
+		return t.(*bucketTable)
+	}
+	t := buildTable(min, bpo, n)
+	actual, _ := tableCache.LoadOrStore(key, t)
+	return actual.(*bucketTable)
+}
+
+// legacyIndex is the historical (unclamped) bucket formula the fast path must
+// reproduce exactly.
+func legacyIndex(v, min float64, bpo int) int {
+	return int(math.Log2(v/min) * float64(bpo))
+}
+
+// buildTable computes exact bucket boundaries by locating, for each bucket
+// transition, the smallest float64 the legacy formula maps past it. The
+// analytic boundary min·2^(k/bpo) is correct to within a few ulps, so a short
+// bits-space bisection around it pins the exact transition point.
+func buildTable(min float64, bpo, n int) *bucketTable {
+	t := &bucketTable{
+		n:          n,
+		thresholds: make([]float64, n-1),
+		values:     make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		lo := min * math.Pow(2, float64(i)/float64(bpo))
+		hi := min * math.Pow(2, float64(i+1)/float64(bpo))
+		t.values[i] = math.Sqrt(lo * hi)
+	}
+	for k := 1; k < n; k++ {
+		guess := min * math.Pow(2, float64(k)/float64(bpo))
+		// Bracket the transition: lo has index < k, hi has index >= k.
+		lo, hi := guess, guess
+		for legacyIndex(lo, min, bpo) >= k {
+			lo = math.Nextafter(lo/(1+1e-12), 0)
+		}
+		for legacyIndex(hi, min, bpo) < k {
+			hi = math.Nextafter(hi*(1+1e-12), math.Inf(1))
+		}
+		// Bisect on the bit representation: for positive floats, bit order is
+		// value order, so this converges to adjacent floats across the
+		// transition.
+		lb, hb := math.Float64bits(lo), math.Float64bits(hi)
+		for lb+1 < hb {
+			mb := lb + (hb-lb)/2
+			if legacyIndex(math.Float64frombits(mb), min, bpo) < k {
+				lb = mb
+			} else {
+				hb = mb
+			}
+		}
+		t.thresholds[k-1] = math.Float64frombits(hb)
+	}
+
+	t.expLo = int(math.Float64bits(min) >> 52)
+	expHi := int(math.Float64bits(t.thresholds[n-2]) >> 52)
+	t.nBinades = expHi - t.expLo + 1
+	t.lut = make([]int32, t.nBinades<<8)
+	for j := 0; j < t.nBinades; j++ {
+		for m := 0; m < 256; m++ {
+			sliceStart := math.Float64frombits(uint64(t.expLo+j)<<52 | uint64(m)<<44)
+			c := sort.SearchFloat64s(t.thresholds, sliceStart)
+			if c < len(t.thresholds) && t.thresholds[c] == sliceStart {
+				c++ // count thresholds <= sliceStart, not just <
+			}
+			t.lut[j<<8|m] = int32(c)
+		}
+	}
+	return t
+}
+
+// index returns the bucket of v, which must satisfy v >= min. It is the
+// bits-based equivalent of the legacy Log2 formula: the IEEE-754 exponent
+// and top mantissa bits index a precomputed bucket count, and a bounded
+// forward scan resolves values past thresholds inside the same slice.
+func (t *bucketTable) index(v float64) int {
+	bits := math.Float64bits(v)
+	j := int(bits>>52) - t.expLo
+	if j < 0 {
+		return 0
+	}
+	if j >= t.nBinades {
+		return t.n - 1
+	}
+	c := int(t.lut[j<<8|int(bits>>44&255)])
+	for c < len(t.thresholds) && t.thresholds[c] <= v {
+		c++
+	}
+	return c
 }
 
 // NewHistogram returns a histogram covering [min, max] with the given number
@@ -42,6 +176,7 @@ func NewHistogram(min, max float64, bucketsPerOctave int) *Histogram {
 		min:              min,
 		max:              max,
 		bucketsPerOctave: bucketsPerOctave,
+		table:            tableFor(min, max, bucketsPerOctave, n),
 		counts:           make([]uint64, n),
 		observedMin:      math.Inf(1),
 		observedMax:      math.Inf(-1),
@@ -58,19 +193,12 @@ func (h *Histogram) bucketIndex(v float64) int {
 	if v < h.min {
 		return 0
 	}
-	idx := int(math.Log2(v/h.min) * float64(h.bucketsPerOctave))
-	if idx >= len(h.counts) {
-		idx = len(h.counts) - 1
-	}
-	return idx
+	return h.table.index(v)
 }
 
-// bucketValue returns the representative (geometric midpoint) value of bucket i.
-func (h *Histogram) bucketValue(i int) float64 {
-	lo := h.min * math.Pow(2, float64(i)/float64(h.bucketsPerOctave))
-	hi := h.min * math.Pow(2, float64(i+1)/float64(h.bucketsPerOctave))
-	return math.Sqrt(lo * hi)
-}
+// bucketValue returns the representative (geometric midpoint) value of bucket
+// i, precomputed at table construction.
+func (h *Histogram) bucketValue(i int) float64 { return h.table.values[i] }
 
 // Record adds one observation. Non-positive and NaN values are ignored:
 // latencies and durations are strictly positive in this codebase, so such a
@@ -79,10 +207,13 @@ func (h *Histogram) Record(v float64) {
 	if math.IsNaN(v) || v <= 0 {
 		return
 	}
-	if v < h.min {
+	idx := 0
+	if v >= h.min {
+		idx = h.table.index(v)
+	} else {
 		h.underflow++
 	}
-	h.counts[h.bucketIndex(v)]++
+	h.counts[idx]++
 	h.total++
 	h.sum += v
 	if v < h.observedMin {

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// legacyBucketIndex is the pre-PR2 Log2-based formula, kept here as the
+// reference the bits-based fast path must match exactly.
+func legacyBucketIndex(h *Histogram, v float64) int {
+	if v < h.min {
+		return 0
+	}
+	idx := int(math.Log2(v/h.min) * float64(h.bucketsPerOctave))
+	if idx >= len(h.counts) {
+		idx = len(h.counts) - 1
+	}
+	return idx
+}
+
+func TestBucketIndexMatchesLegacyFormula(t *testing.T) {
+	for _, cfg := range []struct {
+		min, max float64
+		bpo      int
+	}{
+		{100, 1e12, 32}, // NewLatencyHistogram
+		{1, 1e6, 8},
+		{0.125, 17.3, 5},
+		{3.7, 9_000, 64},
+	} {
+		h := NewHistogram(cfg.min, cfg.max, cfg.bpo)
+		rng := rand.New(rand.NewSource(1))
+		logSpan := math.Log(cfg.max*4) - math.Log(cfg.min/4)
+		for i := 0; i < 200_000; i++ {
+			v := math.Exp(math.Log(cfg.min/4) + rng.Float64()*logSpan)
+			if got, want := h.bucketIndex(v), legacyBucketIndex(h, v); got != want {
+				t.Fatalf("cfg %+v: bucketIndex(%v) = %d, legacy %d", cfg, v, got, want)
+			}
+		}
+		// Boundary-adjacent values are where truncation differences would
+		// hide: probe every threshold and its neighboring floats.
+		for _, th := range h.table.thresholds {
+			for _, v := range []float64{
+				math.Nextafter(th, 0), th, math.Nextafter(th, math.Inf(1)),
+			} {
+				if got, want := h.bucketIndex(v), legacyBucketIndex(h, v); got != want {
+					t.Fatalf("cfg %+v: boundary bucketIndex(%v) = %d, legacy %d", cfg, v, got, want)
+				}
+			}
+		}
+		// Exact powers-of-two multiples of min and the range extremes.
+		for _, v := range []float64{cfg.min, cfg.min * 2, cfg.min * 4, cfg.max, cfg.max * 2} {
+			if got, want := h.bucketIndex(v), legacyBucketIndex(h, v); got != want {
+				t.Fatalf("cfg %+v: bucketIndex(%v) = %d, legacy %d", cfg, v, got, want)
+			}
+		}
+	}
+}
+
+func TestBucketValueMatchesLegacyFormula(t *testing.T) {
+	h := NewLatencyHistogram()
+	for i := range h.counts {
+		lo := h.min * math.Pow(2, float64(i)/float64(h.bucketsPerOctave))
+		hi := h.min * math.Pow(2, float64(i+1)/float64(h.bucketsPerOctave))
+		want := math.Sqrt(lo * hi)
+		if got := h.bucketValue(i); got != want {
+			t.Fatalf("bucketValue(%d) = %v, legacy %v", i, got, want)
+		}
+	}
+}
+
+func TestTableSharedAcrossHistograms(t *testing.T) {
+	a := NewLatencyHistogram()
+	b := NewLatencyHistogram()
+	if a.table != b.table {
+		t.Fatal("same-config histograms do not share a bucket table")
+	}
+}
+
+func TestRecordAllocFree(t *testing.T) {
+	h := NewLatencyHistogram()
+	v := 123456.7
+	avg := testing.AllocsPerRun(1000, func() {
+		h.Record(v)
+		v = v*1.37 + 101
+		if v > 1e12 {
+			v = 150
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Record allocates %v allocs/op, want 0", avg)
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewLatencyHistogram()
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, 4096)
+	for i := range vals {
+		vals[i] = math.Exp(math.Log(100) + rng.Float64()*(math.Log(1e12)-math.Log(100)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Record(vals[i&4095])
+	}
+}
+
+func BenchmarkHistogramQuantile(b *testing.B) {
+	h := NewLatencyHistogram()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100_000; i++ {
+		h.Record(math.Exp(math.Log(1e5) + rng.NormFloat64()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.P99()
+	}
+}

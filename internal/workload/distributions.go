@@ -56,6 +56,63 @@ func (l LogNormal) Mean() float64 {
 	return l.Median * math.Exp(l.Sigma*l.Sigma/2)
 }
 
+// compiledLogNormal is LogNormal with the underlying normal's mu hoisted out
+// of the per-sample path; Compile produces it.
+type compiledLogNormal struct {
+	mu, sigma float64
+	mean      float64
+}
+
+// Sample draws a log-normal value, bit-identical to LogNormal.Sample.
+func (c compiledLogNormal) Sample(rng *sim.RNG) float64 {
+	return rng.LogNormal(c.mu, c.sigma)
+}
+
+// Mean returns the analytic mean.
+func (c compiledLogNormal) Mean() float64 { return c.mean }
+
+// Compile returns a sampler that produces the identical value stream (same
+// RNG draws, same float operations) with per-sample constants hoisted —
+// LogNormal recomputes log(median) every sample, which dominates the
+// request hot path. Samplers with nothing to hoist are returned unchanged.
+func Compile(s Sampler) Sampler {
+	switch t := s.(type) {
+	case LogNormal:
+		return compiledLogNormal{mu: math.Log(t.Median), sigma: t.Sigma, mean: t.Mean()}
+	case Bimodal:
+		return Bimodal{Light: Compile(t.Light), Heavy: Compile(t.Heavy), PHeavy: t.PHeavy}
+	default:
+		return s
+	}
+}
+
+// scaledLogNormal is a LogNormal whose samples are multiplied by a constant
+// factor, flattened into one object; CompileScaled produces it.
+type scaledLogNormal struct {
+	mu, sigma float64
+	f         float64
+	mean      float64
+}
+
+// Sample draws exactly LogNormal.Sample(rng) * f.
+func (s scaledLogNormal) Sample(rng *sim.RNG) float64 {
+	return rng.LogNormal(s.mu, s.sigma) * s.f
+}
+
+// Mean returns the analytic mean of the scaled distribution.
+func (s scaledLogNormal) Mean() float64 { return s.mean }
+
+// CompileScaled returns a single flattened sampler computing
+// Compile(s).Sample(rng)*f — identical draws and float operations to the
+// wrapped form — or nil when s has no flattened representation (the caller
+// keeps its wrapper).
+func CompileScaled(s Sampler, f float64) Sampler {
+	if ln, ok := s.(LogNormal); ok {
+		return scaledLogNormal{mu: math.Log(ln.Median), sigma: ln.Sigma, f: f, mean: ln.Mean() * f}
+	}
+	return nil
+}
+
 // Bimodal mixes two samplers: with probability PHeavy the heavy sampler is
 // used. It models services where a fraction of requests miss cache and go to
 // disk (MongoDB) or take a slow path.
