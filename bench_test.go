@@ -253,6 +253,42 @@ func BenchmarkSchedDiurnal(b *testing.B) {
 	}
 }
 
+// energySchedBenchConfig mirrors the "energy" experiment: a five-node
+// cluster (spare capacity to park) over a compressed diurnal day with the
+// Table 1 power model and the approx-for-watts bundle.
+func energySchedBenchConfig() pliant.SchedConfig {
+	cfg := schedBenchConfig()
+	cfg.Nodes = append(cfg.Nodes,
+		pliant.ClusterNode{Name: "cache-2", Service: pliant.Memcached, MaxApps: 3},
+		pliant.ClusterNode{Name: "web-2", Service: pliant.NGINX, MaxApps: 3},
+	)
+	model := pliant.EnergyModelFor(pliant.TablePlatform())
+	cfg.Energy = &model
+	cfg.Policy = pliant.TelemetryAwarePlacement{}
+	cfg.Autoscaler = pliant.ApproxForWattsAutoscaler{
+		Consolidate: pliant.ConsolidateAutoscaler{ReserveSlots: 6},
+		LowWater:    0.6,
+	}
+	return cfg
+}
+
+// BenchmarkSchedEnergyDiurnal measures one energy-managed day — lifecycle
+// transitions, frequency scaling, and joules accumulation on top of the
+// episode simulation — and reports the day's energy alongside wall time.
+func BenchmarkSchedEnergyDiurnal(b *testing.B) {
+	var met, kj float64
+	for i := 0; i < b.N; i++ {
+		res, err := pliant.RunSched(energySchedBenchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		met += res.QoSMetFrac
+		kj += res.Joules / 1000
+	}
+	b.ReportMetric(met/float64(b.N), "QoSMetFrac")
+	b.ReportMetric(kj/float64(b.N), "kJ/day")
+}
+
 // BenchmarkSchedWorkers quantifies the node-simulation worker pool: the same
 // day on a nine-node cluster with one worker versus a full pool. Multi-node
 // runs should scale sublinearly with node count on multi-core — compare the

@@ -8,6 +8,7 @@
 //	pliant-bench -full           # paper-scale parameters (hours of CPU)
 //	pliant-bench -seed 7 -par 8  # override seed / parallelism
 //	pliant-bench -json -label PR2  # write the BENCH_PR2.json perf trajectory
+//	pliant-bench -verify .         # check every BENCH_*.json still parses
 package main
 
 import (
@@ -29,8 +30,17 @@ func main() {
 		allApps = flag.Bool("allapps", false, "cover all 24 applications at the fast timescale")
 		jsonOut = flag.Bool("json", false, "run the perf-trajectory benchmark suite and write BENCH_<label>.json")
 		label   = flag.String("label", "dev", "label for the -json trajectory file")
+		verify  = flag.String("verify", "", "parse every BENCH_*.json under the given directory and exit")
 	)
 	flag.Parse()
+
+	if *verify != "" {
+		if err := verifyTrajectories(*verify); err != nil {
+			fmt.Fprintf(os.Stderr, "pliant-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *jsonOut {
 		if err := runTrajectory(*label); err != nil {

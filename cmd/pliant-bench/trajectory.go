@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"testing"
 
 	pliant "github.com/approx-sched/pliant"
@@ -59,6 +61,24 @@ func scenarioBenchConfig(seed uint64) pliant.ScenarioConfig {
 		LoadFraction: 0.78,
 		TimeScale:    16,
 	}
+}
+
+// energySchedBenchConfig mirrors BenchmarkSchedEnergyDiurnal in
+// bench_test.go: the five-node energy cluster under the approx-for-watts
+// bundle.
+func energySchedBenchConfig() pliant.SchedConfig {
+	cfg := schedBenchConfig(pliant.TelemetryAwarePlacement{})
+	cfg.Nodes = append(cfg.Nodes,
+		pliant.ClusterNode{Name: "cache-2", Service: pliant.Memcached, MaxApps: 3},
+		pliant.ClusterNode{Name: "web-2", Service: pliant.NGINX, MaxApps: 3},
+	)
+	model := pliant.EnergyModelFor(pliant.TablePlatform())
+	cfg.Energy = &model
+	cfg.Autoscaler = pliant.ApproxForWattsAutoscaler{
+		Consolidate: pliant.ConsolidateAutoscaler{ReserveSlots: 6},
+		LowWater:    0.6,
+	}
+	return cfg
 }
 
 // schedBenchConfig mirrors the diurnal-day scenario in bench_test.go.
@@ -117,6 +137,23 @@ func runTrajectory(label string) error {
 		b.ReportMetric(float64(served)/b.Elapsed().Seconds(), "requests/s")
 	})))
 
+	// One energy-managed day: the approx-for-watts bundle on the five-node
+	// cluster, reporting the day's joules alongside wall time.
+	t.Benchmarks = append(t.Benchmarks, record("SchedEnergyDiurnal", testing.Benchmark(func(b *testing.B) {
+		var met, kj float64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := pliant.RunSched(energySchedBenchConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			met += res.QoSMetFrac
+			kj += res.Joules / 1000
+		}
+		b.ReportMetric(met/float64(b.N), "QoSMetFrac")
+		b.ReportMetric(kj/float64(b.N), "kJ/day")
+	})))
+
 	// One compressed day of online scheduling per policy.
 	for _, pol := range []pliant.SchedPolicy{
 		pliant.FirstFitPlacement{},
@@ -155,6 +192,43 @@ func runTrajectory(label string) error {
 			fmt.Printf("  %s=%.4g", k, v)
 		}
 		fmt.Println()
+	}
+	return nil
+}
+
+// verifyTrajectories parses every BENCH_*.json under dir and fails loudly on
+// the first unreadable, unparsable, or structurally empty file — the CI
+// guard that keeps the perf-trajectory format consumable across PRs.
+func verifyTrajectories(dir string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no BENCH_*.json files under %s", dir)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		var t trajectory
+		if err := json.Unmarshal(data, &t); err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		if t.Label == "" {
+			return fmt.Errorf("%s: missing label", p)
+		}
+		if len(t.Benchmarks) == 0 {
+			return fmt.Errorf("%s: no benchmarks", p)
+		}
+		for _, b := range t.Benchmarks {
+			if b.Name == "" || b.NsPerOp <= 0 || b.Iterations <= 0 {
+				return fmt.Errorf("%s: malformed benchmark record %+v", p, b)
+			}
+		}
+		fmt.Printf("pliant-bench: %s ok (%d benchmarks, label %s)\n", p, len(t.Benchmarks), t.Label)
 	}
 	return nil
 }

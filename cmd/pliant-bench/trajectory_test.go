@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCommittedTrajectoriesParse keeps the repo's accumulated BENCH_*.json
+// files (the perf trajectory, one per PR) readable: a schema drift in the
+// trajectory struct that orphans old files fails here, not in a downstream
+// jq pipeline.
+func TestCommittedTrajectoriesParse(t *testing.T) {
+	root := filepath.Join("..", "..")
+	paths, err := filepath.Glob(filepath.Join(root, "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatalf("no BENCH_*.json committed under %s", root)
+	}
+	if err := verifyTrajectories(root); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVerifyRejectsGarbage covers the failure side of the CI guard.
+func TestVerifyRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	if err := verifyTrajectories(dir); err == nil {
+		t.Error("empty directory verified")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_bad.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := verifyTrajectories(dir); err == nil {
+		t.Error("unparsable trajectory verified")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_bad.json"), []byte(`{"label":"x","benchmarks":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := verifyTrajectories(dir); err == nil {
+		t.Error("benchmark-free trajectory verified")
+	}
+}

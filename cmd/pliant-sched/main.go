@@ -8,6 +8,7 @@
 //	pliant-sched -policy telemetry -shape diurnal -timescale 16
 //	pliant-sched -policy all -nodes memcached,nginx,mongodb,mongodb -rate 0.12
 //	pliant-sched -shape flash -peak 1.6 -timescale 16 -csv trace.csv
+//	pliant-sched -energy -autoscale approx-for-watts -policy telemetry
 package main
 
 import (
@@ -23,22 +24,25 @@ func main() {
 	var (
 		nodesFlag = flag.String("nodes", "memcached,nginx,mongodb",
 			"comma-separated node services; one node per entry")
-		maxApps  = flag.Int("maxapps", 3, "job slots per node")
-		policy   = flag.String("policy", "all", "placement policy: first-fit, best-fit, telemetry, all")
-		horizon  = flag.Float64("horizon", 240, "cluster-time horizon in seconds")
-		epoch    = flag.Float64("epoch", 12, "scheduling window in seconds")
-		rate     = flag.Float64("rate", 0, "job arrivals per second (0 = sized to capacity)")
-		load     = flag.Float64("load", 0.65, "base offered load on every node's service")
-		shape    = flag.String("shape", "diurnal", "load shape: steady, diurnal, flash")
-		amp      = flag.Float64("amp", 0.25, "diurnal amplitude around 1")
-		period   = flag.Float64("period", 0, "diurnal period in seconds (0 = one day across the horizon)")
-		peak     = flag.Float64("peak", 1.6, "flash-crowd peak multiplier")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		scale    = flag.Float64("timescale", 1, "request-timescale multiplier (16 = fast profile)")
-		workers  = flag.Int("workers", 0, "node-simulation worker pool size (0 = GOMAXPROCS)")
-		jobsFlag = flag.String("jobs", "", "comma-separated catalog apps to cycle jobs through (default: shuffled catalog)")
-		jsonOut  = flag.String("json", "", "write the result as JSON to a file ('-' for stdout)")
-		csvOut   = flag.String("csv", "", "write the cluster-horizon trace as CSV to a file ('-' for stdout)")
+		maxApps    = flag.Int("maxapps", 3, "job slots per node")
+		policy     = flag.String("policy", "all", "placement policy: first-fit, best-fit, spread, telemetry, all")
+		horizon    = flag.Float64("horizon", 240, "cluster-time horizon in seconds")
+		epoch      = flag.Float64("epoch", 12, "scheduling window in seconds")
+		rate       = flag.Float64("rate", 0, "job arrivals per second (0 = sized to capacity)")
+		load       = flag.Float64("load", 0.65, "base offered load on every node's service")
+		shape      = flag.String("shape", "diurnal", "load shape: steady, diurnal, flash")
+		amp        = flag.Float64("amp", 0.25, "diurnal amplitude around 1")
+		period     = flag.Float64("period", 0, "diurnal period in seconds (0 = one day across the horizon)")
+		peak       = flag.Float64("peak", 1.6, "flash-crowd peak multiplier")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		scale      = flag.Float64("timescale", 1, "request-timescale multiplier (16 = fast profile)")
+		workers    = flag.Int("workers", 0, "node-simulation worker pool size (0 = GOMAXPROCS)")
+		jobsFlag   = flag.String("jobs", "", "comma-separated catalog apps to cycle jobs through (default: shuffled catalog)")
+		jsonOut    = flag.String("json", "", "write the result as JSON to a file ('-' for stdout)")
+		csvOut     = flag.String("csv", "", "write the cluster-horizon trace as CSV to a file ('-' for stdout)")
+		useEnergy  = flag.Bool("energy", false, "attach the Table 1 power model: joules accounting + energy columns")
+		autoscaler = flag.String("autoscale", "none",
+			"node lifecycle controller (implies -energy): none, consolidate, approx-for-watts")
 	)
 	flag.Parse()
 
@@ -64,6 +68,19 @@ func main() {
 	}
 	if *jobsFlag != "" {
 		cfg.JobNames = strings.Split(*jobsFlag, ",")
+	}
+	if *useEnergy || *autoscaler != "none" {
+		model := pliant.EnergyModelFor(pliant.TablePlatform())
+		cfg.Energy = &model
+	}
+	switch *autoscaler {
+	case "none":
+	case "consolidate":
+		cfg.Autoscaler = pliant.ConsolidateAutoscaler{}
+	case "approx-for-watts":
+		cfg.Autoscaler = pliant.ApproxForWattsAutoscaler{}
+	default:
+		fail(fmt.Errorf("unknown autoscaler %q (none, consolidate, approx-for-watts)", *autoscaler))
 	}
 
 	policies, err := parsePolicies(*policy)
@@ -140,16 +157,19 @@ func parsePolicies(name string) ([]pliant.SchedPolicy, error) {
 		return []pliant.SchedPolicy{pliant.FirstFitPlacement{}}, nil
 	case "best-fit":
 		return []pliant.SchedPolicy{pliant.BestFitPlacement{}}, nil
+	case "spread":
+		return []pliant.SchedPolicy{pliant.SpreadPlacement{}}, nil
 	case "telemetry":
 		return []pliant.SchedPolicy{pliant.TelemetryAwarePlacement{}}, nil
 	case "all":
 		return []pliant.SchedPolicy{
 			pliant.FirstFitPlacement{},
 			pliant.BestFitPlacement{},
+			pliant.SpreadPlacement{},
 			pliant.TelemetryAwarePlacement{},
 		}, nil
 	default:
-		return nil, fmt.Errorf("unknown policy %q (first-fit, best-fit, telemetry, all)", name)
+		return nil, fmt.Errorf("unknown policy %q (first-fit, best-fit, spread, telemetry, all)", name)
 	}
 }
 

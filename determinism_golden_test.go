@@ -35,6 +35,15 @@ const (
 	goldenSchedQoSMetFrac = "0.44444444444444442"
 	goldenSchedJSON       = "b7758dd2a67a76d2ec66e12b808c012bf2cce36cf66fe75cea536188d12dfd45"
 	goldenSchedCSV        = "62f944ed835457cceb8e79e3872b9fa822e9e2675b667ff5bfd5478020d4f3ed"
+
+	// goldenEnergy pins the energy subsystem (PR 3): the approx-for-watts
+	// bundle over a compressed diurnal day with the Table 1 power model.
+	// Joules is an exact float print — energy accumulation must stay
+	// bit-deterministic across refactors, worker counts included.
+	goldenEnergyQoSMetFrac = "0.76923076923076927"
+	goldenEnergyJoules     = "20351.31073497004"
+	goldenEnergyJSON       = "8f70c89150e02ce03b67b211f9434137a9313df17e0fa7cfecc73ce4b2c96565"
+	goldenEnergyCSV        = "d0622a6038ebd00a2dbfd03d916c1631243b78a8d3b9037c722303fe1e32ed5b"
 )
 
 func goldenScenarioConfig() pliant.ScenarioConfig {
@@ -64,6 +73,19 @@ func goldenSchedConfig() pliant.SchedConfig {
 		Shape:      shape,
 		TimeScale:  16,
 	}
+}
+
+func goldenEnergyConfig() pliant.SchedConfig {
+	cfg := goldenSchedConfig()
+	cfg.Nodes = append(cfg.Nodes, pliant.ClusterNode{Name: "db-1", Service: pliant.MongoDB, MaxApps: 2})
+	model := pliant.EnergyModelFor(pliant.TablePlatform())
+	cfg.Energy = &model
+	cfg.Policy = pliant.TelemetryAwarePlacement{}
+	cfg.Autoscaler = pliant.ApproxForWattsAutoscaler{
+		Consolidate: pliant.ConsolidateAutoscaler{ReserveSlots: 2},
+		LowWater:    0.6,
+	}
+	return cfg
 }
 
 func sha(b []byte) string {
@@ -135,5 +157,43 @@ func TestGoldenSched(t *testing.T) {
 	}
 	if got := sha(csv.Bytes()); got != goldenSchedCSV {
 		t.Errorf("sched trace CSV hash = %s, golden %s", got, goldenSchedCSV)
+	}
+}
+
+// TestGoldenEnergy pins the energy subsystem end to end: node lifecycle,
+// frequency scaling, joules accumulation, and the energy columns of both
+// export writers, byte for byte.
+func TestGoldenEnergy(t *testing.T) {
+	res, err := pliant.RunSched(goldenEnergyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var js, csv bytes.Buffer
+	if err := pliant.WriteSchedResultJSON(&js, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := pliant.WriteSchedTraceCSV(&csv, res); err != nil {
+		t.Fatal(err)
+	}
+	qos := fmt.Sprintf("%.17g", res.QoSMetFrac)
+	joules := fmt.Sprintf("%.17g", res.Joules)
+	if os.Getenv("PLIANT_GOLDEN") == "print" {
+		t.Logf("goldenEnergyQoSMetFrac = %q", qos)
+		t.Logf("goldenEnergyJoules     = %q", joules)
+		t.Logf("goldenEnergyJSON       = %q", sha(js.Bytes()))
+		t.Logf("goldenEnergyCSV        = %q", sha(csv.Bytes()))
+		return
+	}
+	if qos != goldenEnergyQoSMetFrac {
+		t.Errorf("QoSMetFrac = %s, golden %s", qos, goldenEnergyQoSMetFrac)
+	}
+	if joules != goldenEnergyJoules {
+		t.Errorf("Joules = %s, golden %s", joules, goldenEnergyJoules)
+	}
+	if got := sha(js.Bytes()); got != goldenEnergyJSON {
+		t.Errorf("energy JSON hash = %s, golden %s", got, goldenEnergyJSON)
+	}
+	if got := sha(csv.Bytes()); got != goldenEnergyCSV {
+		t.Errorf("energy trace CSV hash = %s, golden %s", got, goldenEnergyCSV)
 	}
 }

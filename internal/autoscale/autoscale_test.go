@@ -1,0 +1,178 @@
+package autoscale
+
+import (
+	"reflect"
+	"testing"
+)
+
+// view builds a snapshot of n three-slot nodes, all active/empty/nominal
+// (state index 2), then applies mutations.
+func view(n int, pending int, mutate ...func(*View)) View {
+	v := View{Pending: pending, Nominal: 2}
+	for i := 0; i < n; i++ {
+		v.Nodes = append(v.Nodes, NodeView{Index: i, State: Active, Slots: 3, Freq: 2})
+	}
+	for _, m := range mutate {
+		m(&v)
+	}
+	return v
+}
+
+func kinds(acts []Action) map[ActionKind][]int {
+	out := map[ActionKind][]int{}
+	for _, a := range acts {
+		out[a.Kind] = append(out[a.Kind], a.Node)
+	}
+	return out
+}
+
+func TestStateStringsAndPlaceable(t *testing.T) {
+	for s, want := range map[State]string{Active: "active", Draining: "draining", Parked: "parked", Waking: "waking"} {
+		if s.String() != want {
+			t.Errorf("State(%d).String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	if !Active.Placeable() || Draining.Placeable() || Parked.Placeable() || Waking.Placeable() {
+		t.Error("placeability wrong")
+	}
+}
+
+func TestConsolidateParksSurplusFromTheBack(t *testing.T) {
+	// Four empty nodes, nothing pending: keep reserve (2 slots) + floor
+	// (1 node), park the rest, highest index first.
+	acts := Consolidate{}.Decide(view(4, 0))
+	got := kinds(acts)
+	if want := []int{3, 2, 1}; !reflect.DeepEqual(got[Park], want) {
+		t.Errorf("parked %v, want %v", got[Park], want)
+	}
+	if len(got[Wake]) != 0 {
+		t.Errorf("unexpected wakes: %v", got[Wake])
+	}
+}
+
+func TestConsolidateRespectsResidentsAndFloor(t *testing.T) {
+	// Node 1 is busy: only empty nodes park, and the active floor holds.
+	v := view(3, 0, func(v *View) { v.Nodes[1].Resident = 2 })
+	got := kinds(Consolidate{}.Decide(v))
+	for _, idx := range got[Park] {
+		if idx == 1 {
+			t.Error("parked a node with residents")
+		}
+	}
+	// MinActive floor: with a floor of 3 nothing parks.
+	got = kinds(Consolidate{MinActive: 3}.Decide(view(3, 0)))
+	if len(got[Park]) != 0 {
+		t.Errorf("parked %v despite MinActive floor", got[Park])
+	}
+}
+
+func TestConsolidateWakesUnderBacklog(t *testing.T) {
+	// Two parked nodes, deep queue: free capacity (3) can't cover
+	// pending+reserve (6+2), so both wake, lowest index first.
+	v := view(3, 6, func(v *View) {
+		v.Nodes[0].State = Parked
+		v.Nodes[1].State = Parked
+	})
+	got := kinds(Consolidate{}.Decide(v))
+	if want := []int{0, 1}; !reflect.DeepEqual(got[Wake], want) {
+		t.Errorf("woke %v, want %v", got[Wake], want)
+	}
+	if len(got[Park]) != 0 {
+		t.Errorf("parked %v while backlogged", got[Park])
+	}
+	// A node already waking counts toward projected capacity: its three
+	// slots cover pending (1) + reserve (2), so no additional wake fires.
+	v = view(3, 1, func(v *View) {
+		v.Nodes[0].State = Parked
+		v.Nodes[1].State = Waking
+		v.Nodes[2].Resident = 3 // full
+	})
+	got = kinds(Consolidate{}.Decide(v))
+	if len(got[Wake]) != 0 {
+		t.Errorf("woke %v although a waking node covers the queue", got[Wake])
+	}
+}
+
+func TestApproxForWattsSpendsSlackGradually(t *testing.T) {
+	p := ApproxForWatts{}
+	// Busy node with mature slack steps down exactly one state.
+	v := view(1, 0, func(v *View) {
+		v.Nodes[0].Resident = 2
+		v.Nodes[0].Reports = 5
+		v.Nodes[0].P99OverQoS = 0.5
+	})
+	got := kinds(p.Decide(v))
+	if len(got[SetFreq]) != 1 {
+		t.Fatalf("freq actions: %v", got)
+	}
+	var act Action
+	for _, a := range p.Decide(v) {
+		if a.Kind == SetFreq {
+			act = a
+		}
+	}
+	if act.Freq != 1 {
+		t.Errorf("stepped to state %d, want one step down to 1", act.Freq)
+	}
+
+	// Immature telemetry does not move frequency.
+	v.Nodes[0].Reports = 1
+	if got := kinds(p.Decide(v)); len(got[SetFreq]) != 0 {
+		t.Errorf("freq moved on %d reports", v.Nodes[0].Reports)
+	}
+
+	// Near the QoS boundary the node snaps back to nominal in one action.
+	v.Nodes[0].Reports = 5
+	v.Nodes[0].Freq = 0
+	v.Nodes[0].P99OverQoS = 1.1
+	for _, a := range p.Decide(v) {
+		if a.Kind == SetFreq && a.Freq != 2 {
+			t.Errorf("recovery stepped to %d, want nominal 2", a.Freq)
+		}
+	}
+}
+
+func TestApproxForWattsResetsIdleNodesToNominal(t *testing.T) {
+	p := ApproxForWatts{}
+	v := view(2, 5, func(v *View) { // backlog keeps both nodes awake
+		v.Nodes[0].Freq = 0 // idle at a low state from a previous tenant
+	})
+	sawReset := false
+	for _, a := range p.Decide(v) {
+		if a.Kind == SetFreq && a.Node == 0 && a.Freq == 2 {
+			sawReset = true
+		}
+	}
+	if !sawReset {
+		t.Error("idle node left in a low frequency state")
+	}
+}
+
+func TestApproxForWattsSkipsNodesItJustParked(t *testing.T) {
+	// An idle node about to park must not also receive a freq action.
+	v := view(4, 0, func(v *View) { v.Nodes[3].Freq = 0 })
+	got := kinds(ApproxForWatts{}.Decide(v))
+	for _, idx := range got[SetFreq] {
+		for _, parked := range got[Park] {
+			if idx == parked {
+				t.Errorf("node %d both parked and refreqed", idx)
+			}
+		}
+	}
+}
+
+func TestControllerDecisionsDeterministic(t *testing.T) {
+	v := view(6, 2, func(v *View) {
+		v.Nodes[1].Resident = 1
+		v.Nodes[1].Reports = 4
+		v.Nodes[1].P99OverQoS = 0.4
+		v.Nodes[4].State = Parked
+	})
+	p := ApproxForWatts{}
+	a := p.Decide(v)
+	for i := 0; i < 10; i++ {
+		if b := p.Decide(v); !reflect.DeepEqual(a, b) {
+			t.Fatalf("decision %d differs: %v vs %v", i, a, b)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"github.com/approx-sched/pliant/internal/app"
 	"github.com/approx-sched/pliant/internal/colocate"
+	"github.com/approx-sched/pliant/internal/energy"
 	"github.com/approx-sched/pliant/internal/monitor"
 	"github.com/approx-sched/pliant/internal/service"
 	"github.com/approx-sched/pliant/internal/sim"
@@ -79,6 +80,12 @@ type NodeRun struct {
 	MaxDuration  sim.Duration
 	OnReport     func(monitor.Report) // mid-run telemetry feed
 
+	// EnergyModel attaches node power accounting to the episode: reports
+	// carry watts/joules and the result totals energy. FreqGHz runs the node
+	// in a lower frequency state (0 = nominal); see colocate.Config.
+	EnergyModel *energy.Model
+	FreqGHz     float64
+
 	// Scratch is optional reusable episode state owned by the calling
 	// worker; see colocate.Scratch.
 	Scratch *colocate.Scratch
@@ -97,6 +104,8 @@ func RunNode(r NodeRun) (colocate.Result, error) {
 		TimeScale:    r.TimeScale,
 		MaxDuration:  r.MaxDuration,
 		OnReport:     r.OnReport,
+		EnergyModel:  r.EnergyModel,
+		FreqGHz:      r.FreqGHz,
 		Scratch:      r.Scratch,
 	})
 }
@@ -112,6 +121,18 @@ type Telemetry struct {
 	ViolationFrac float64
 	// Reports counts observed intervals.
 	Reports int
+
+	// Watts is a recency-weighted mean of the node's power draw; 0 until the
+	// first energy-bearing report (reports carry energy only when the episode
+	// ran with an energy model attached).
+	Watts float64
+	// Joules accumulates the node's energy over observed intervals.
+	Joules float64
+	// PerfPerWatt is a recency-weighted mean of service throughput per watt
+	// (requests/s/W ≡ requests/J). Like ViolationFrac it is policy-facing
+	// surface: the built-in policies don't read it, but custom energy-aware
+	// policies see it through NodeState.Telemetry.
+	PerfPerWatt float64
 
 	violations int
 }
@@ -139,6 +160,23 @@ func (t *Telemetry) Observe(r monitor.Report) {
 		t.violations++
 	}
 	t.ViolationFrac = float64(t.violations) / float64(t.Reports)
+
+	// Energy telemetry rides the same reports when the episode carries a
+	// power model; the first energy-bearing report seeds the EWMAs.
+	if r.Watts > 0 {
+		perf := 0.0
+		if sec := r.Interval.Seconds(); sec > 0 {
+			perf = float64(r.Seen) / sec / r.Watts
+		}
+		if t.Watts == 0 {
+			t.Watts = r.Watts
+			t.PerfPerWatt = perf
+		} else {
+			t.Watts = telemetryAlpha*r.Watts + (1-telemetryAlpha)*t.Watts
+			t.PerfPerWatt = telemetryAlpha*perf + (1-telemetryAlpha)*t.PerfPerWatt
+		}
+		t.Joules += r.Joules
+	}
 }
 
 // NodeResult is the outcome of one node's colocation run.

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -277,5 +278,73 @@ func TestShuffledJobsDeterministic(t *testing.T) {
 	}
 	if len(ShuffledJobs(1, 100)) != 24 {
 		t.Fatal("overlong request not clamped to catalog size")
+	}
+}
+
+// TestTelemetryEWMADecay pins the recency weighting: after a single spike,
+// each quiet interval decays the EWMA by exactly (1-alpha), so the spike's
+// influence halves roughly every two reports at alpha = 0.3.
+func TestTelemetryEWMADecay(t *testing.T) {
+	const alpha = 0.3
+	qos := sim.Duration(10 * sim.Millisecond)
+	var tel Telemetry
+	tel.Observe(monitor.Report{P99: 4 * qos, QoS: qos, Violation: true}) // spike: ratio 4
+	want := 4.0
+	for i := 0; i < 6; i++ {
+		tel.Observe(monitor.Report{P99: qos, QoS: qos}) // quiet: ratio 1
+		want = alpha*1 + (1-alpha)*want
+		if diff := tel.P99OverQoS - want; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("after %d quiet reports: EWMA %v, want %v", i+1, tel.P99OverQoS, want)
+		}
+	}
+	// Six quiet intervals leave under 12% of the spike's excess.
+	if excess := tel.P99OverQoS - 1; excess > 3*math.Pow(1-alpha, 6) {
+		t.Fatalf("spike not decaying: excess %v", excess)
+	}
+}
+
+// TestTelemetryEnergyObserve covers the energy EWMAs: watts seed on the
+// first energy-bearing report, decay with the same alpha, joules accumulate,
+// and reports without energy leave all three untouched.
+func TestTelemetryEnergyObserve(t *testing.T) {
+	qos := sim.Duration(10 * sim.Millisecond)
+	var tel Telemetry
+	tel.Observe(monitor.Report{P99: qos, QoS: qos}) // no energy attached
+	if tel.Watts != 0 || tel.Joules != 0 || tel.PerfPerWatt != 0 {
+		t.Fatalf("energy fields moved without energy-bearing report: %+v", tel)
+	}
+	r := monitor.Report{
+		P99: qos, QoS: qos, Interval: sim.Second,
+		Seen: 1000, Watts: 100, Joules: 100,
+	}
+	tel.Observe(r)
+	if tel.Watts != 100 || tel.Joules != 100 {
+		t.Fatalf("first energy report did not seed: %+v", tel)
+	}
+	if tel.PerfPerWatt != 10 { // 1000 req/s at 100 W
+		t.Fatalf("PerfPerWatt = %v, want 10", tel.PerfPerWatt)
+	}
+	r.Watts, r.Joules, r.Seen = 200, 200, 1000
+	tel.Observe(r)
+	if want := 0.3*200 + 0.7*100.0; math.Abs(tel.Watts-want) > 1e-12 {
+		t.Fatalf("Watts EWMA = %v, want %v", tel.Watts, want)
+	}
+	if tel.Joules != 300 {
+		t.Fatalf("Joules = %v, want 300", tel.Joules)
+	}
+}
+
+// TestTelemetryObserveAllocFree pins the acceptance criterion: folding an
+// energy-bearing report into node telemetry allocates nothing.
+func TestTelemetryObserveAllocFree(t *testing.T) {
+	qos := sim.Duration(10 * sim.Millisecond)
+	r := monitor.Report{
+		P99: qos, QoS: qos, Interval: sim.Second,
+		Seen: 1000, Watts: 100, Joules: 100,
+	}
+	var tel Telemetry
+	avg := testing.AllocsPerRun(1000, func() { tel.Observe(r) })
+	if avg != 0 {
+		t.Errorf("Telemetry.Observe allocates %.2f allocs/op, want 0", avg)
 	}
 }

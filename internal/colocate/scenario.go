@@ -16,6 +16,7 @@ import (
 	"github.com/approx-sched/pliant/internal/core"
 	"github.com/approx-sched/pliant/internal/dse"
 	"github.com/approx-sched/pliant/internal/dyninst"
+	"github.com/approx-sched/pliant/internal/energy"
 	"github.com/approx-sched/pliant/internal/interference"
 	"github.com/approx-sched/pliant/internal/monitor"
 	"github.com/approx-sched/pliant/internal/platform"
@@ -131,6 +132,20 @@ type Config struct {
 	// uninstrumented, as in the paper.
 	InstrumentApps bool
 
+	// EnergyModel, when set, attaches a power model to the node: every
+	// decision-interval report carries that interval's utilization, watts,
+	// and joules (monitor.Report.Util/Watts/Joules), the trace gains a
+	// "watts" series, and the result totals energy. Nil (the default) keeps
+	// all energy accounting off and results byte-identical to prior versions.
+	EnergyModel *energy.Model
+
+	// FreqGHz runs the node in a fixed frequency state below nominal: both
+	// the service and the apps slow by nominal/FreqGHz (through the same
+	// slowdown path contention uses) while the power curve draws
+	// proportionally less. 0 means the model's nominal frequency. Requires
+	// EnergyModel.
+	FreqGHz float64
+
 	// OnReport, when set, observes every decision-interval monitor report —
 	// the mid-run telemetry feed a cluster scheduler consumes (Sec. 6.4). It
 	// fires after the runtime policy has actuated and must not mutate the
@@ -186,6 +201,19 @@ func (c Config) Validate() error {
 			return fmt.Errorf("colocate: work scale %v for app %d outside (0, 1]", f, i)
 		}
 	}
+	if c.EnergyModel != nil {
+		if err := c.EnergyModel.Validate(); err != nil {
+			return err
+		}
+		if nominal := c.EnergyModel.FreqAt(c.EnergyModel.Nominal()); c.FreqGHz != 0 &&
+			(c.FreqGHz < 0 || c.FreqGHz > nominal) {
+			// Above-nominal frequencies would extrapolate the power curve and
+			// speed the node beyond the calibrated timing model.
+			return fmt.Errorf("colocate: frequency %v outside (0, nominal %v]", c.FreqGHz, nominal)
+		}
+	} else if c.FreqGHz != 0 {
+		return fmt.Errorf("colocate: FreqGHz needs an EnergyModel")
+	}
 	return c.Platform.Validate()
 }
 
@@ -228,6 +256,14 @@ type Result struct {
 	Served          uint64
 	Dropped         uint64
 	Apps            []AppResult
+
+	// Joules, MeanWatts, and MeanUtil summarize node energy when the
+	// scenario carried an EnergyModel (all zero otherwise): total energy,
+	// mean power draw over the run, and mean socket utilization across
+	// decision intervals.
+	Joules    float64
+	MeanWatts float64
+	MeanUtil  float64
 
 	// Trace carries the per-interval series for the dynamic-behavior
 	// figures: "p99" (in QoS multiples), "svc.cores", and per app
@@ -305,6 +341,17 @@ type scenario struct {
 	sumP99       float64
 	intervalP99s []float64
 	runningApps  int
+
+	// Energy accounting (active only when cfg.EnergyModel is set): the
+	// frequency the node runs at, the execution-time multiplier it implies,
+	// the per-run accumulator, and the last interval's power draw (used to
+	// close the final partial interval).
+	svcCfg    service.Config
+	freqGHz   float64
+	freqSlow  float64
+	acc       energy.Accumulator
+	lastWatts float64
+	utilSum   float64
 }
 
 func build(cfg Config) (*scenario, error) {
@@ -343,8 +390,22 @@ func build(cfg Config) (*scenario, error) {
 	}
 	fairSvcCores := s.alloc.Cores(s.svcTenant)
 
+	// Frequency state: lower states slow service and apps alike through the
+	// same multiplicative path contention uses, and the power curve draws
+	// proportionally less.
+	s.freqSlow = 1
+	if cfg.EnergyModel != nil {
+		m := cfg.EnergyModel
+		s.freqGHz = cfg.FreqGHz
+		if s.freqGHz == 0 {
+			s.freqGHz = m.FreqAt(m.Nominal())
+		}
+		s.freqSlow = m.FreqAt(m.Nominal()) / s.freqGHz
+	}
+
 	// Interactive service and its open-loop client.
 	svcCfg := service.Preset(cfg.Service).Scaled(cfg.TimeScale)
+	s.svcCfg = svcCfg
 	s.svc, err = service.New(s.eng, s.rng.Split(1), svcCfg, fairSvcCores, s.observeLatency)
 	if err != nil {
 		return nil, err
@@ -477,9 +538,9 @@ func (s *scenario) refreshContention() {
 		demands = append(demands, proc.App().Demand(s.tenantOf(i), now))
 	}
 	res := s.model.Evaluate(demands)
-	s.svc.SetSlowdown(res.Slowdown(s.svcTenant))
+	s.svc.SetSlowdown(res.Slowdown(s.svcTenant) * s.freqSlow)
 	for i, proc := range s.apps {
-		proc.App().SetSlowdown(res.Slowdown(s.tenantOf(i)))
+		proc.App().SetSlowdown(res.Slowdown(s.tenantOf(i)) * s.freqSlow)
 	}
 }
 
@@ -531,11 +592,54 @@ func (s *scenario) onReport(r monitor.Report) {
 	s.emitReport(r)
 }
 
-// emitReport forwards the report to the external telemetry observer, if any.
+// emitReport forwards the report to the external telemetry observer, if any,
+// enriching it with the interval's energy figures when a model is attached.
 func (s *scenario) emitReport(r monitor.Report) {
+	if s.cfg.EnergyModel != nil {
+		r = s.accountEnergy(r)
+	}
 	if s.cfg.OnReport != nil {
 		s.cfg.OnReport(r)
 	}
+}
+
+// accountEnergy folds one decision interval into the node's energy ledger:
+// socket utilization from the apps' core occupancy plus the service's
+// measured throughput against its frequency-adjusted capacity, watts from
+// the power curve, joules integrated over virtual time. Pure arithmetic —
+// the telemetry path stays allocation-free.
+func (s *scenario) accountEnergy(r monitor.Report) monitor.Report {
+	usable := s.cfg.Platform.UsableCores()
+	if usable == 0 {
+		return r
+	}
+	appCores := 0
+	for _, proc := range s.apps {
+		if !proc.App().Done() {
+			appCores += proc.App().Cores()
+		}
+	}
+	svcUtil := 0.0
+	if sec := r.Interval.Seconds(); sec > 0 {
+		capacity := s.svcCfg.SaturationQPS(s.svc.Cores()) / s.freqSlow
+		if capacity > 0 {
+			svcUtil = float64(r.Seen) / (capacity * sec)
+			if svcUtil > 1 {
+				svcUtil = 1
+			}
+		}
+	}
+	util := (float64(appCores) + svcUtil*float64(s.svc.Cores())) / float64(usable)
+	watts := s.cfg.EnergyModel.Power(util, s.freqGHz)
+	s.acc.Advance(r.At, watts)
+	s.lastWatts = watts
+	s.utilSum += util
+
+	r.Util = util
+	r.Watts = watts
+	r.Joules = watts * r.Interval.Seconds()
+	s.trace.Series("watts").Append(r.At.Seconds(), watts)
+	return r
 }
 
 func (s *scenario) appViews() []core.AppView {
@@ -646,6 +750,17 @@ func (s *scenario) run() (Result, error) {
 		res.MeanIntervalP99 = sim.Duration(s.sumP99 / float64(s.intervals))
 		med := stats.Quantiles(s.intervalP99s, 0.5)
 		res.TypicalP99 = sim.Duration(med[0])
+	}
+	if s.cfg.EnergyModel != nil {
+		// Close the final partial interval at the last observed draw.
+		s.acc.Advance(s.eng.Now(), s.lastWatts)
+		res.Joules = s.acc.Joules
+		if sec := res.Duration.Seconds(); sec > 0 {
+			res.MeanWatts = res.Joules / sec
+		}
+		if s.intervals > 0 {
+			res.MeanUtil = s.utilSum / float64(s.intervals)
+		}
 	}
 	for i, proc := range s.apps {
 		a := proc.App()

@@ -382,9 +382,50 @@ func TestSchedDiurnal(t *testing.T) {
 	}
 }
 
+// TestEnergyDiurnal is the energy subsystem's acceptance experiment: the
+// approx-for-watts bundle must meet QoS in at least first-fit's fraction of
+// busy node-windows at measurably lower energy, and the savings must come
+// from the modeled mechanisms (parked nodes, lowered frequency states).
+func TestEnergyDiurnal(t *testing.T) {
+	skipIfShort(t)
+	res, err := EnergyDiurnal(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want the four bundles", len(res.Rows))
+	}
+	afw, ff := res.RowFor("approx-for-watts"), res.RowFor("first-fit")
+	if afw.QoSMetFrac < ff.QoSMetFrac {
+		t.Errorf("approx-for-watts QoS-met %.3f below first-fit %.3f", afw.QoSMetFrac, ff.QoSMetFrac)
+	}
+	if afw.KJoules > 0.9*ff.KJoules {
+		t.Errorf("approx-for-watts energy %.1fkJ not measurably below first-fit %.1fkJ",
+			afw.KJoules, ff.KJoules)
+	}
+	if afw.ParkedNodeWindows == 0 || afw.LowFreqNodeWindows == 0 {
+		t.Errorf("savings without the mechanism: parked=%d lowfreq=%d",
+			afw.ParkedNodeWindows, afw.LowFreqNodeWindows)
+	}
+	if cons := res.RowFor("consolidate"); cons.ParkedNodeWindows == 0 || cons.KJoules >= ff.KJoules {
+		t.Errorf("consolidate parked %d windows at %.1fkJ vs first-fit %.1fkJ",
+			cons.ParkedNodeWindows, cons.KJoules, ff.KJoules)
+	}
+	// The static baselines burn the whole fleet's idle floor all day.
+	if spread := res.RowFor("spread-first"); spread.ParkedNodeWindows != 0 {
+		t.Errorf("spread-first parked %d windows", spread.ParkedNodeWindows)
+	}
+	out := res.Render()
+	for _, want := range []string{"approx-for-watts", "consolidate", "spread-first", "summary:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRegistry(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 12 {
+	if len(reg) != 13 {
 		t.Fatalf("registry has %d entries", len(reg))
 	}
 	ids := map[string]bool{}

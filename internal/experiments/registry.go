@@ -28,6 +28,7 @@ func Registry() []Entry {
 		{"fig10", "Fig. 10: approximation vs core-reclamation breakdown", wrap(Fig10Breakdown)},
 		{"overhead", "Sec. 6.2: instrumentation overhead", wrap(Overhead)},
 		{"sched", "Sec. 6.4 extension: online scheduling under a diurnal day", wrap(SchedDiurnal)},
+		{"energy", "Energy extension: autoscaling and approximation-for-watts over a diurnal day", wrap(EnergyDiurnal)},
 	}
 }
 

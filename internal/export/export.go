@@ -18,19 +18,26 @@ import (
 
 // resultJSON is the stable wire form of a scenario result.
 type resultJSON struct {
-	Service         string          `json:"service"`
-	Runtime         string          `json:"runtime"`
-	QoSNanos        int64           `json:"qos_ns"`
-	OverallP99Nanos int64           `json:"overall_p99_ns"`
-	TypicalP99Nanos int64           `json:"typical_p99_ns"`
-	P99OverQoS      float64         `json:"p99_over_qos"`
-	TypicalOverQoS  float64         `json:"typical_over_qos"`
-	ViolationFrac   float64         `json:"violation_frac"`
-	Intervals       int             `json:"intervals"`
-	DurationNanos   int64           `json:"duration_ns"`
-	Served          uint64          `json:"served"`
-	Dropped         uint64          `json:"dropped"`
-	Apps            []appResultJSON `json:"apps"`
+	Service         string  `json:"service"`
+	Runtime         string  `json:"runtime"`
+	QoSNanos        int64   `json:"qos_ns"`
+	OverallP99Nanos int64   `json:"overall_p99_ns"`
+	TypicalP99Nanos int64   `json:"typical_p99_ns"`
+	P99OverQoS      float64 `json:"p99_over_qos"`
+	TypicalOverQoS  float64 `json:"typical_over_qos"`
+	ViolationFrac   float64 `json:"violation_frac"`
+	Intervals       int     `json:"intervals"`
+	DurationNanos   int64   `json:"duration_ns"`
+	Served          uint64  `json:"served"`
+	Dropped         uint64  `json:"dropped"`
+
+	// Energy columns appear only when the scenario carried an energy model,
+	// so energy-free documents stay byte-identical across versions.
+	Joules    float64 `json:"joules,omitempty"`
+	MeanWatts float64 `json:"mean_watts,omitempty"`
+	MeanUtil  float64 `json:"mean_util,omitempty"`
+
+	Apps []appResultJSON `json:"apps"`
 }
 
 type appResultJSON struct {
@@ -61,6 +68,9 @@ func WriteResultJSON(w io.Writer, res colocate.Result) error {
 		DurationNanos:   int64(res.Duration),
 		Served:          res.Served,
 		Dropped:         res.Dropped,
+		Joules:          res.Joules,
+		MeanWatts:       res.MeanWatts,
+		MeanUtil:        res.MeanUtil,
 	}
 	for _, a := range res.Apps {
 		out.Apps = append(out.Apps, appResultJSON{

@@ -1,0 +1,178 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/approx-sched/pliant/internal/colocate"
+	"github.com/approx-sched/pliant/internal/sched"
+	"github.com/approx-sched/pliant/internal/stats"
+)
+
+// The golden column sets. Downstream analysis scripts key on these names; a
+// diff here is an intentional wire-format change and must be called out in
+// the PR that makes it.
+var (
+	goldenScenarioJSONKeys = []string{
+		"service", "runtime", "qos_ns", "overall_p99_ns", "typical_p99_ns",
+		"p99_over_qos", "typical_over_qos", "violation_frac", "intervals",
+		"duration_ns", "served", "dropped", "joules", "mean_watts",
+		"mean_util", "apps",
+	}
+	goldenSchedJSONKeys = []string{
+		"policy", "horizon_sec", "epoch_sec", "arrived", "placed",
+		"completed", "pending", "mean_wait_sec", "max_wait_sec",
+		"qos_met_frac", "mean_utilization", "mean_inaccuracy_pct",
+		"episodes", "joules", "mean_watts", "parked_node_windows",
+		"low_freq_node_windows", "wakes", "node_joules", "jobs",
+	}
+	goldenScenarioCSVHeader = "t_seconds,p99,svc.cores,watts"
+	goldenSchedCSVHeader    = "t_seconds,queue.depth,utilization," +
+		"nodes.active,nodes.parked,p99.worst,qosmet,running,watts.cluster"
+)
+
+// topLevelKeys walks a JSON document and returns its top-level object keys
+// in marshaling order.
+func topLevelKeys(t *testing.T, doc []byte) []string {
+	t.Helper()
+	dec := json.NewDecoder(bytes.NewReader(doc))
+	tok, err := dec.Token()
+	if err != nil || tok != json.Delim('{') {
+		t.Fatalf("document does not open an object: %v %v", tok, err)
+	}
+	var keys []string
+	depth := 0
+	for dec.More() || depth > 0 {
+		tok, err := dec.Token()
+		if err != nil {
+			break
+		}
+		switch v := tok.(type) {
+		case json.Delim:
+			switch v {
+			case '{', '[':
+				depth++
+			case '}', ']':
+				depth--
+			}
+		case string:
+			if depth == 0 {
+				keys = append(keys, v)
+				// Skip the value (may be nested).
+				var raw json.RawMessage
+				if err := dec.Decode(&raw); err != nil {
+					t.Fatalf("skipping value of %q: %v", v, err)
+				}
+			}
+		}
+	}
+	return keys
+}
+
+// fullScenarioResult populates every field so omitempty columns appear.
+func fullScenarioResult() colocate.Result {
+	tr := stats.NewTrace()
+	tr.Series("p99").Append(1, 0.9)
+	tr.Series("svc.cores").Append(1, 8)
+	tr.Series("watts").Append(1, 120)
+	return colocate.Result{
+		Service: "memcached", Runtime: "pliant", QoS: 1, OverallP99: 2,
+		TypicalP99: 2, MaxIntervalP99: 3, MeanIntervalP99: 2,
+		ViolationFrac: 0.1, Intervals: 10, Duration: 100, Served: 5,
+		Dropped: 1, Joules: 1234, MeanWatts: 120, MeanUtil: 0.5,
+		Apps:  []colocate.AppResult{{Name: "canneal", Inaccuracy: 1}},
+		Trace: tr,
+	}
+}
+
+// fullSchedResult populates every field so omitempty columns appear.
+func fullSchedResult() sched.Result {
+	tr := stats.NewTrace()
+	for _, s := range []string{
+		"queue.depth", "utilization", "running", "qosmet", "p99.worst",
+		"watts.cluster", "nodes.active", "nodes.parked",
+	} {
+		tr.Series(s).Append(10, 1)
+	}
+	return sched.Result{
+		Policy: "first-fit", HorizonSec: 120, EpochSec: 10, Arrived: 3,
+		Placed: 3, Completed: 2, Pending: 0, MeanWaitSec: 1, MaxWaitSec: 2,
+		QoSMetFrac: 0.9, MeanUtilization: 0.5, MeanInaccuracy: 2,
+		Episodes: 12, Joules: 50000, MeanWatts: 400, ParkedNodeWindows: 4,
+		LowFreqNodeWindows: 2, Wakes: 1,
+		NodeJoules: []sched.NodeEnergy{{Node: "n0", Joules: 50000}},
+		Jobs:       []sched.JobOutcome{{ID: 0, App: "canneal", Node: "n0"}},
+		Trace:      tr,
+	}
+}
+
+func TestScenarioJSONColumnsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteResultJSON(&buf, fullScenarioResult()); err != nil {
+		t.Fatal(err)
+	}
+	if got := topLevelKeys(t, buf.Bytes()); !reflect.DeepEqual(got, goldenScenarioJSONKeys) {
+		t.Errorf("scenario JSON columns drifted:\n got %v\nwant %v", got, goldenScenarioJSONKeys)
+	}
+}
+
+func TestSchedJSONColumnsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSchedResultJSON(&buf, fullSchedResult()); err != nil {
+		t.Fatal(err)
+	}
+	if got := topLevelKeys(t, buf.Bytes()); !reflect.DeepEqual(got, goldenSchedJSONKeys) {
+		t.Errorf("sched JSON columns drifted:\n got %v\nwant %v", got, goldenSchedJSONKeys)
+	}
+}
+
+func TestTraceCSVHeadersGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, fullScenarioResult()); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.SplitN(buf.String(), "\n", 2)[0]; got != goldenScenarioCSVHeader {
+		t.Errorf("scenario CSV header drifted:\n got %s\nwant %s", got, goldenScenarioCSVHeader)
+	}
+
+	buf.Reset()
+	if err := WriteSchedTraceCSV(&buf, fullSchedResult()); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.SplitN(buf.String(), "\n", 2)[0]; got != goldenSchedCSVHeader {
+		t.Errorf("sched CSV header drifted:\n got %s\nwant %s", got, goldenSchedCSVHeader)
+	}
+}
+
+// TestEnergyFreeDocumentsUnchanged pins the compatibility contract: without
+// an energy model, no energy key may appear — older consumers see the exact
+// pre-energy wire format.
+func TestEnergyFreeDocumentsUnchanged(t *testing.T) {
+	sc := fullScenarioResult()
+	sc.Joules, sc.MeanWatts, sc.MeanUtil = 0, 0, 0
+	var buf bytes.Buffer
+	if err := WriteResultJSON(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"joules", "mean_watts", "mean_util"} {
+		if strings.Contains(buf.String(), key) {
+			t.Errorf("energy-free scenario JSON contains %q", key)
+		}
+	}
+
+	sr := fullSchedResult()
+	sr.Joules, sr.MeanWatts, sr.NodeJoules = 0, 0, nil
+	sr.ParkedNodeWindows, sr.LowFreqNodeWindows, sr.Wakes = 0, 0, 0
+	buf.Reset()
+	if err := WriteSchedResultJSON(&buf, sr); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"joules", "mean_watts", "parked", "wakes"} {
+		if strings.Contains(buf.String(), key) {
+			t.Errorf("energy-free sched JSON contains %q", key)
+		}
+	}
+}

@@ -25,7 +25,21 @@ type schedResultJSON struct {
 	MeanInaccuracy  float64 `json:"mean_inaccuracy_pct"`
 	Episodes        int     `json:"episodes"`
 
+	// Energy columns appear only when the run carried an energy model, so
+	// energy-free documents stay byte-identical across versions.
+	Joules             float64          `json:"joules,omitempty"`
+	MeanWatts          float64          `json:"mean_watts,omitempty"`
+	ParkedNodeWindows  int              `json:"parked_node_windows,omitempty"`
+	LowFreqNodeWindows int              `json:"low_freq_node_windows,omitempty"`
+	Wakes              int              `json:"wakes,omitempty"`
+	NodeJoules         []nodeJoulesJSON `json:"node_joules,omitempty"`
+
 	Jobs []schedJobJSON `json:"jobs"`
+}
+
+type nodeJoulesJSON struct {
+	Node   string  `json:"node"`
+	Joules float64 `json:"joules"`
 }
 
 type schedJobJSON struct {
@@ -57,6 +71,15 @@ func WriteSchedResultJSON(w io.Writer, res sched.Result) error {
 		MeanUtilization: res.MeanUtilization,
 		MeanInaccuracy:  res.MeanInaccuracy,
 		Episodes:        res.Episodes,
+
+		Joules:             res.Joules,
+		MeanWatts:          res.MeanWatts,
+		ParkedNodeWindows:  res.ParkedNodeWindows,
+		LowFreqNodeWindows: res.LowFreqNodeWindows,
+		Wakes:              res.Wakes,
+	}
+	for _, ne := range res.NodeJoules {
+		out.NodeJoules = append(out.NodeJoules, nodeJoulesJSON{Node: ne.Node, Joules: ne.Joules})
 	}
 	for _, j := range res.Jobs {
 		out.Jobs = append(out.Jobs, schedJobJSON{

@@ -32,6 +32,16 @@ type Report struct {
 	// negative when violating. The controller's revert condition is
 	// Slack > 10% (paper Sec. 4.3).
 	Slack float64
+
+	// Util, Watts, and Joules are node energy telemetry for this interval:
+	// utilization of the colocation socket, mean power draw, and energy
+	// dissipated. The monitor itself leaves them zero — the episode runner
+	// (internal/colocate) fills them when an energy model is attached, so
+	// joules ride the same OnReport hook schedulers already consume latency
+	// through.
+	Util   float64
+	Watts  float64
+	Joules float64
 }
 
 // Config tunes a Monitor.

@@ -1,0 +1,289 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/approx-sched/pliant/internal/autoscale"
+	"github.com/approx-sched/pliant/internal/cluster"
+	"github.com/approx-sched/pliant/internal/energy"
+	"github.com/approx-sched/pliant/internal/platform"
+	"github.com/approx-sched/pliant/internal/service"
+	"github.com/approx-sched/pliant/internal/sim"
+	"github.com/approx-sched/pliant/internal/workload"
+)
+
+// energyCluster is the five-node cluster of the energy study: enough spare
+// capacity that consolidation has nodes to park.
+func energyCluster() []cluster.Node {
+	return []cluster.Node{
+		{Name: "cache-1", Service: service.Memcached, MaxApps: 3},
+		{Name: "web-1", Service: service.NGINX, MaxApps: 3},
+		{Name: "db-1", Service: service.MongoDB, MaxApps: 3},
+		{Name: "cache-2", Service: service.Memcached, MaxApps: 3},
+		{Name: "web-2", Service: service.NGINX, MaxApps: 3},
+	}
+}
+
+// energyConfig is one compressed diurnal day over the five-node cluster with
+// the Table 1 power model attached.
+func energyConfig(seed uint64, pol Policy, as autoscale.Controller) Config {
+	model := energy.ModelFor(platform.TablePlatform())
+	shape, _ := workload.NewDiurnal(0.25, 120)
+	return Config{
+		Seed:       seed,
+		Nodes:      energyCluster(),
+		Policy:     pol,
+		Horizon:    120 * sim.Second,
+		Epoch:      10 * sim.Second,
+		JobsPerSec: 0.10,
+		BaseLoad:   0.65,
+		Shape:      shape,
+		TimeScale:  16,
+		Energy:     &model,
+		Autoscaler: as,
+	}
+}
+
+// approxForWatts is the study's Pliant-native bundle: telemetry-aware
+// placement, consolidation with a healthy reserve, and slack-funded
+// frequency scaling.
+func approxForWatts() autoscale.Controller {
+	return autoscale.ApproxForWatts{
+		Consolidate: autoscale.Consolidate{ReserveSlots: 6},
+		LowWater:    0.6,
+	}
+}
+
+// TestEnergyAccountingObservationOnly pins the invariant the golden suite
+// depends on: attaching a power model (without an autoscaler) is pure
+// observation — scheduling outcomes are identical to an energy-free run.
+func TestEnergyAccountingObservationOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full runs; skipped in -short")
+	}
+	with := energyConfig(42, FirstFit{}, nil)
+	without := with
+	without.Energy = nil
+
+	rw, err := Run(with)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := Run(without)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.QoSMetFrac != ro.QoSMetFrac || rw.Arrived != ro.Arrived ||
+		rw.Completed != ro.Completed || rw.MeanWaitSec != ro.MeanWaitSec {
+		t.Fatalf("energy accounting perturbed scheduling:\nwith:    %+v\nwithout: %+v",
+			rw, ro)
+	}
+	if rw.Joules <= 0 || rw.MeanWatts <= 0 {
+		t.Fatalf("no energy accrued: joules=%v watts=%v", rw.Joules, rw.MeanWatts)
+	}
+	if ro.Joules != 0 || ro.NodeJoules != nil {
+		t.Fatalf("energy-free run accrued energy: %+v", ro)
+	}
+	if len(rw.NodeJoules) != len(with.Nodes) {
+		t.Fatalf("per-node ledger covers %d of %d nodes", len(rw.NodeJoules), len(with.Nodes))
+	}
+	sum := 0.0
+	for _, ne := range rw.NodeJoules {
+		if ne.Joules <= 0 {
+			t.Errorf("node %s accrued no energy", ne.Node)
+		}
+		sum += ne.Joules
+	}
+	if diff := sum - rw.Joules; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("node ledger sums to %v, total %v", sum, rw.Joules)
+	}
+	for _, series := range []string{"watts.cluster", "nodes.active", "nodes.parked"} {
+		if rw.Trace.Series(series).Len() == 0 {
+			t.Errorf("series %q missing with energy on", series)
+		}
+		if ro.Trace.Series(series).Len() != 0 {
+			t.Errorf("series %q present with energy off", series)
+		}
+	}
+}
+
+// TestEnergyRunsDeterministic pins byte determinism of the energy figures:
+// two identical runs agree to the last bit, worker count included.
+func TestEnergyRunsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full runs; skipped in -short")
+	}
+	cfg := energyConfig(7, TelemetryAware{}, approxForWatts())
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := cfg
+	serial.Workers = 1
+	c, err := Run(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(r Result) string {
+		s := fmt.Sprintf("%.17g|%.17g|%d|%d|%d", r.Joules, r.MeanWatts,
+			r.ParkedNodeWindows, r.LowFreqNodeWindows, r.Wakes)
+		for _, ne := range r.NodeJoules {
+			s += fmt.Sprintf("|%s=%.17g", ne.Node, ne.Joules)
+		}
+		return s
+	}
+	if key(a) != key(b) {
+		t.Fatalf("reruns disagree:\n%s\n%s", key(a), key(b))
+	}
+	if key(a) != key(c) {
+		t.Fatalf("worker count perturbs energy:\n%s\n%s", key(a), key(c))
+	}
+}
+
+// TestConsolidationParksIdleNodes starves the cluster of jobs: the
+// consolidating autoscaler must park surplus nodes and spend measurably
+// fewer joules than the static baseline, then reflect it in the ledger.
+func TestConsolidationParksIdleNodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full runs; skipped in -short")
+	}
+	static := energyConfig(3, FirstFit{}, nil)
+	static.JobsPerSec = 0.01 // nearly idle day
+	parked := energyConfig(3, FirstFit{}, autoscale.Consolidate{})
+	parked.JobsPerSec = 0.01
+
+	rs, err := Run(static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Run(parked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.ParkedNodeWindows == 0 {
+		t.Fatal("idle cluster parked nothing")
+	}
+	if rp.Joules >= 0.8*rs.Joules {
+		t.Errorf("parking saved too little: %v J vs static %v J", rp.Joules, rs.Joules)
+	}
+	if rs.ParkedNodeWindows != 0 {
+		t.Errorf("static run parked %d node-windows", rs.ParkedNodeWindows)
+	}
+}
+
+// TestAutoscalerWakesUnderBacklog floods a consolidated cluster: parked
+// nodes must wake (paying wake energy) and the queue must drain.
+func TestAutoscalerWakesUnderBacklog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full run; skipped in -short")
+	}
+	cfg := energyConfig(5, FirstFit{}, autoscale.Consolidate{})
+	// Quiet first half (nodes park), flash-crowd of jobs in the second.
+	cfg.Arrivals = burstArrivals{quietSec: 60, gapSec: 2}
+	cfg.JobsPerSec = 0
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Wakes == 0 {
+		t.Fatal("backlog woke no nodes")
+	}
+	if res.Placed == 0 {
+		t.Fatal("no jobs placed after wake")
+	}
+}
+
+// burstArrivals is deterministic: nothing for quietSec, then a job every
+// gapSec.
+type burstArrivals struct {
+	quietSec float64
+	gapSec   float64
+}
+
+func (b burstArrivals) Next(*sim.RNG) sim.Duration {
+	return sim.Duration(b.gapSec * float64(sim.Second))
+}
+
+func (b burstArrivals) Rate() float64 { return 1 / b.gapSec }
+
+func (b burstArrivals) NextAt(_ *sim.RNG, now sim.Time) sim.Duration {
+	if now.Seconds() < b.quietSec {
+		return sim.Duration((b.quietSec - now.Seconds() + b.gapSec) * float64(sim.Second))
+	}
+	return sim.Duration(b.gapSec * float64(sim.Second))
+}
+
+// TestApproxForWattsHeadline is the subsystem's acceptance criterion: over a
+// diurnal day, the approx-for-watts bundle meets QoS in at least the
+// fraction of busy node-windows first-fit does, at measurably lower energy —
+// the watts that approximation slack buys.
+func TestApproxForWattsHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full runs; skipped in -short")
+	}
+	ff, err := Run(energyConfig(42, FirstFit{}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	afw, err := Run(energyConfig(42, TelemetryAware{}, approxForWatts()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if afw.QoSMetFrac < ff.QoSMetFrac {
+		t.Errorf("approx-for-watts QoS-met %.3f below first-fit %.3f", afw.QoSMetFrac, ff.QoSMetFrac)
+	}
+	if afw.Joules > 0.9*ff.Joules {
+		t.Errorf("approx-for-watts energy %.0f J not measurably below first-fit %.0f J", afw.Joules, ff.Joules)
+	}
+	if afw.ParkedNodeWindows == 0 || afw.LowFreqNodeWindows == 0 {
+		t.Errorf("savings without the mechanism: parked=%d lowfreq=%d",
+			afw.ParkedNodeWindows, afw.LowFreqNodeWindows)
+	}
+}
+
+// TestAutoscalerValidation covers the config errors of the energy surface.
+func TestAutoscalerValidation(t *testing.T) {
+	cfg := fastConfig(FirstFit{})
+	cfg.Autoscaler = autoscale.Consolidate{}
+	if _, err := Run(cfg); err == nil {
+		t.Error("autoscaler without energy model validated")
+	}
+	model := energy.ModelFor(platform.TablePlatform())
+	model.FreqGHz = nil
+	cfg = fastConfig(FirstFit{})
+	cfg.Energy = &model
+	if _, err := Run(cfg); err == nil {
+		t.Error("invalid energy model validated")
+	}
+}
+
+// TestParkedNodesRejectPlacements pins the lifecycle/placement contract:
+// non-active nodes are offered to policies with zero free slots.
+func TestParkedNodesRejectPlacements(t *testing.T) {
+	model := energy.ModelFor(platform.TablePlatform())
+	s := &run{cfg: Config{Energy: &model, Shape: workload.Steady{}, Epoch: 10 * sim.Second}}
+	for _, n := range energyCluster() {
+		s.nodes = append(s.nodes, &nodeRT{node: n, state: autoscale.Active, freq: model.Nominal()})
+	}
+	s.nodes[1].state = autoscale.Parked
+	s.nodes[2].state = autoscale.Draining
+	s.nodes[3].state = autoscale.Waking
+	states := s.nodeStates(0)
+	for i, st := range states {
+		placeable := s.nodes[i].state.Placeable()
+		if placeable && st.Free == 0 {
+			t.Errorf("active node %d offered no slots", i)
+		}
+		if !placeable && st.Free != 0 {
+			t.Errorf("%s node %d offered %d slots", s.nodes[i].state, i, st.Free)
+		}
+		if st.Lifecycle != s.nodes[i].state {
+			t.Errorf("node %d lifecycle %v, want %v", i, st.Lifecycle, s.nodes[i].state)
+		}
+	}
+}

@@ -53,6 +53,26 @@ func (BestFit) Place(_ Job, nodes []NodeState) int {
 	return best
 }
 
+// Spread places each job on the free node with the most open slots —
+// spread-first: it minimizes per-node interference by keeping arity low, at
+// the cost of keeping every node awake. The energy study's QoS-friendly,
+// watts-hostile endpoint.
+type Spread struct{}
+
+// Name identifies the policy.
+func (Spread) Name() string { return "spread-first" }
+
+// Place implements Policy.
+func (Spread) Place(_ Job, nodes []NodeState) int {
+	best, bestFree := -1, 0
+	for _, st := range nodes {
+		if st.Free > bestFree {
+			best, bestFree = st.Index, st.Free
+		}
+	}
+	return best
+}
+
 // TelemetryAware consumes the Pliant runtime's live feedback — each node's
 // recent p99/QoS and violation fraction, each resident job's residual
 // pressure — plus the per-service tolerance budgets of the batch policy, and

@@ -129,3 +129,17 @@ func TestTelemetryAwareLoadDerating(t *testing.T) {
 func violatingTelemetry(p99OverQoS float64) cluster.Telemetry {
 	return cluster.Telemetry{P99OverQoS: p99OverQoS, ViolationFrac: 1, Reports: 5}
 }
+
+func TestSpreadPicksEmptiestNode(t *testing.T) {
+	j := testJob(t, "canneal")
+	if got := (Spread{}).Place(j, states(1, 3, 2)); got != 1 {
+		t.Fatalf("spread picked %d, want the emptiest node 1", got)
+	}
+	if got := (Spread{}).Place(j, states(0, 0, 0)); got != -1 {
+		t.Fatalf("spread placed %d on a full cluster, want -1", got)
+	}
+	// Ties break to the lowest index, keeping runs deterministic.
+	if got := (Spread{}).Place(j, states(2, 2, 2)); got != 0 {
+		t.Fatalf("spread tie-break picked %d, want 0", got)
+	}
+}

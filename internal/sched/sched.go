@@ -22,8 +22,10 @@ import (
 	"runtime"
 
 	"github.com/approx-sched/pliant/internal/app"
+	"github.com/approx-sched/pliant/internal/autoscale"
 	"github.com/approx-sched/pliant/internal/cluster"
 	"github.com/approx-sched/pliant/internal/colocate"
+	"github.com/approx-sched/pliant/internal/energy"
 	"github.com/approx-sched/pliant/internal/sim"
 	"github.com/approx-sched/pliant/internal/stats"
 	"github.com/approx-sched/pliant/internal/workload"
@@ -82,6 +84,12 @@ type NodeState struct {
 	Telemetry cluster.Telemetry
 	// LoadMult is the service-load shape multiplier for the upcoming window.
 	LoadMult float64
+	// Lifecycle is the node's autoscaling state (always Active without an
+	// autoscaler); non-active nodes are offered with Free = 0.
+	Lifecycle autoscale.State
+	// FreqState is the node's frequency-state index into the energy model's
+	// ladder (0 until an energy model is attached).
+	FreqState int
 }
 
 // Config describes one online scheduling run.
@@ -130,6 +138,18 @@ type Config struct {
 	// Workers bounds how many node episodes simulate concurrently
 	// (default GOMAXPROCS).
 	Workers int
+
+	// Energy attaches a per-node power model (internal/energy): episodes
+	// report joules through their telemetry, idle/parked/waking draw is
+	// accounted between episodes, and the Result carries cluster energy
+	// totals plus per-boundary power series. Nil keeps all energy
+	// accounting off and results byte-identical to prior versions.
+	Energy *energy.Model
+
+	// Autoscaler manages node lifecycle (park/wake with the model's wake
+	// energy and delay) and frequency states at every scheduling boundary.
+	// Requires Energy; nil keeps every node active at nominal frequency.
+	Autoscaler autoscale.Controller
 }
 
 // withDefaults fills zero values.
@@ -185,6 +205,13 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sched: time scale must be positive")
 	case c.Arrivals == nil && c.JobsPerSec <= 0:
 		return fmt.Errorf("sched: job arrival rate must be positive")
+	case c.Autoscaler != nil && c.Energy == nil:
+		return fmt.Errorf("sched: autoscaler %s needs an energy model", c.Autoscaler.Name())
+	}
+	if c.Energy != nil {
+		if err := c.Energy.Validate(); err != nil {
+			return err
+		}
 	}
 	for i, n := range c.Nodes {
 		if n.MaxApps < 1 {
@@ -244,12 +271,32 @@ type Result struct {
 	// Episodes counts node-window colocation episodes simulated.
 	Episodes int
 
+	// Energy totals, all zero unless Config.Energy was set: cluster energy
+	// over the horizon, its mean draw, how many node-windows nodes spent
+	// parked or running busy below nominal frequency, and how many wake
+	// transitions fired (each costing the model's wake energy).
+	Joules             float64
+	MeanWatts          float64
+	ParkedNodeWindows  int
+	LowFreqNodeWindows int
+	Wakes              int
+
+	// NodeJoules breaks the energy down per node, in node order.
+	NodeJoules []NodeEnergy
+
 	Jobs []JobOutcome
 
 	// Trace records the cluster-horizon series: "queue.depth",
 	// "utilization", "running" at each window start; "qosmet" and
-	// "p99.worst" at each window end.
+	// "p99.worst" at each window end; with an energy model also
+	// "watts.cluster", "nodes.active", and "nodes.parked" per window.
 	Trace *stats.Trace
+}
+
+// NodeEnergy is one node's share of the cluster energy ledger.
+type NodeEnergy struct {
+	Node   string
+	Joules float64
 }
 
 // nodeRT is the scheduler's runtime state for one node.
@@ -259,6 +306,14 @@ type nodeRT struct {
 	tel      cluster.Telemetry
 	busy     int // windows with residents
 	met      int // busy windows meeting QoS
+
+	// Energy/lifecycle state (meaningful only with Config.Energy): the
+	// autoscaling state, the frequency-state index, when a waking node
+	// becomes placeable, and the node's energy ledger.
+	state  autoscale.State
+	freq   int
+	wakeAt sim.Time
+	joules float64
 }
 
 // run carries one executing schedule.
@@ -279,6 +334,11 @@ type run struct {
 	utilN    int
 	trace    *stats.Trace
 	err      error
+
+	// Energy counters (active only with cfg.Energy).
+	parkedWindows  int
+	lowFreqWindows int
+	wakes          int
 
 	// scratch[w] is worker w's reusable episode state: engine arenas and
 	// histograms recycled across the thousands of node-window episodes a run
@@ -303,8 +363,12 @@ func Run(cfg Config) (Result, error) {
 	if len(s.names) == 0 {
 		s.names = cluster.ShuffledJobs(cfg.Seed, len(app.Names()))
 	}
+	nominalFreq := 0
+	if cfg.Energy != nil {
+		nominalFreq = cfg.Energy.Nominal()
+	}
 	for _, n := range cfg.Nodes {
-		s.nodes = append(s.nodes, &nodeRT{node: n})
+		s.nodes = append(s.nodes, &nodeRT{node: n, state: autoscale.Active, freq: nominalFreq})
 		s.slots += n.MaxApps
 	}
 	s.scratch = make([]*colocate.Scratch, cfg.Workers)
@@ -371,8 +435,10 @@ func (s *run) arrive() {
 }
 
 // boundary fires at the end of every scheduling window: it simulates the
-// window that just elapsed, folds in completions and telemetry, then lets the
-// policy drain the pending queue into the freed capacity for the next window.
+// window that just elapsed, folds in completions, telemetry, and energy,
+// steps the node lifecycle machine, lets the autoscaler actuate, then lets
+// the policy drain the pending queue into the freed capacity for the next
+// window.
 func (s *run) boundary(now sim.Time) {
 	if s.err != nil {
 		return
@@ -382,10 +448,90 @@ func (s *run) boundary(now sim.Time) {
 		return
 	}
 	if now < sim.Time(s.cfg.Horizon) {
+		s.stepLifecycle(now)
+		s.autoscale(now)
+		if s.err != nil {
+			return
+		}
 		s.place(now)
 		s.recordOccupancy(now)
 	}
 	s.window++
+}
+
+// stepLifecycle applies the time-driven transitions at a boundary: drained
+// nodes park, waking nodes whose delay elapsed become placeable.
+func (s *run) stepLifecycle(now sim.Time) {
+	for _, n := range s.nodes {
+		switch n.state {
+		case autoscale.Draining:
+			if len(n.resident) == 0 {
+				n.state = autoscale.Parked
+			}
+		case autoscale.Waking:
+			if now >= n.wakeAt {
+				n.state = autoscale.Active
+			}
+		}
+	}
+}
+
+// autoscale consults the lifecycle controller and applies its actions.
+func (s *run) autoscale(now sim.Time) {
+	if s.cfg.Autoscaler == nil {
+		return
+	}
+	view := autoscale.View{
+		NowSec:  now.Seconds(),
+		Pending: len(s.pending),
+		Nominal: s.cfg.Energy.Nominal(),
+	}
+	for i, n := range s.nodes {
+		view.Nodes = append(view.Nodes, autoscale.NodeView{
+			Index:      i,
+			State:      n.state,
+			Service:    n.node.Service.String(),
+			Resident:   len(n.resident),
+			Slots:      n.node.MaxApps,
+			Freq:       n.freq,
+			P99OverQoS: n.tel.P99OverQoS,
+			Reports:    n.tel.Reports,
+		})
+	}
+	for _, act := range s.cfg.Autoscaler.Decide(view) {
+		if act.Node < 0 || act.Node >= len(s.nodes) {
+			s.fail(fmt.Errorf("sched: autoscaler %s acted on unknown node %d", s.cfg.Autoscaler.Name(), act.Node))
+			return
+		}
+		n := s.nodes[act.Node]
+		switch act.Kind {
+		case autoscale.Park:
+			if n.state != autoscale.Active {
+				continue
+			}
+			if len(n.resident) > 0 {
+				n.state = autoscale.Draining
+			} else {
+				n.state = autoscale.Parked
+			}
+		case autoscale.Wake:
+			if n.state != autoscale.Parked {
+				continue
+			}
+			n.state = autoscale.Waking
+			n.wakeAt = now.Add(s.cfg.Energy.WakeDelay)
+			n.freq = s.cfg.Energy.Nominal() // fresh nodes resume at nominal
+			n.joules += s.cfg.Energy.WakeJ
+			s.wakes++
+		case autoscale.SetFreq:
+			if act.Freq < 0 || act.Freq >= len(s.cfg.Energy.FreqGHz) {
+				s.fail(fmt.Errorf("sched: autoscaler %s set node %s to unknown frequency state %d",
+					s.cfg.Autoscaler.Name(), n.node.Name, act.Freq))
+				return
+			}
+			n.freq = act.Freq
+		}
+	}
 }
 
 // episodeSeed derives the deterministic seed of one node-window episode.
@@ -395,9 +541,11 @@ func episodeSeed(seed uint64, node, window int) uint64 {
 
 // episode is the outcome of one node's window simulation.
 type episode struct {
-	apps []colocate.AppResult
-	tel  cluster.Telemetry
-	err  error
+	apps   []colocate.AppResult
+	tel    cluster.Telemetry
+	joules float64      // episode energy (with an energy model)
+	span   sim.Duration // simulated span; < epoch when all apps finished
+	err    error
 }
 
 // simulateWindow runs every occupied node's colocation for the window ending
@@ -421,7 +569,7 @@ func (s *run) simulateWindow(now sim.Time) {
 			scales[j] = job.remaining
 		}
 		var tel cluster.Telemetry
-		res, err := cluster.RunNode(cluster.NodeRun{
+		nr := cluster.NodeRun{
 			Seed:         episodeSeed(s.cfg.Seed, i, s.window),
 			Node:         n.node,
 			AppNames:     names,
@@ -432,8 +580,13 @@ func (s *run) simulateWindow(now sim.Time) {
 			MaxDuration:  s.cfg.Epoch,
 			OnReport:     tel.Observe,
 			Scratch:      s.scratch[worker],
-		})
-		results[i] = episode{apps: res.Apps, tel: tel, err: err}
+		}
+		if s.cfg.Energy != nil {
+			nr.EnergyModel = s.cfg.Energy
+			nr.FreqGHz = s.cfg.Energy.FreqAt(n.freq)
+		}
+		res, err := cluster.RunNode(nr)
+		results[i] = episode{apps: res.Apps, tel: tel, joules: res.Joules, span: res.Duration, err: err}
 	})
 
 	busyNodes, metNodes := 0, 0
@@ -486,10 +639,82 @@ func (s *run) simulateWindow(now sim.Time) {
 		}
 	}
 
+	s.accountWindow(now, results, busyIdx)
+
 	if busyNodes > 0 {
 		s.trace.Series("qosmet").Append(now.Seconds(), float64(metNodes)/float64(busyNodes))
 		s.trace.Series("p99.worst").Append(now.Seconds(), worstP99)
 	}
+}
+
+// accountWindow folds the elapsed window into the cluster energy ledger:
+// busy nodes contribute their episode's measured joules (plus idle draw for
+// any early-finish remainder), idle active nodes the draw of their service
+// riding alone, parked nodes the suspend floor, waking nodes the idle floor
+// while they resume. Per-node sums accrue in node order, so totals stay
+// byte-deterministic regardless of worker count.
+func (s *run) accountWindow(now sim.Time, results []episode, busyIdx []int) {
+	if s.cfg.Energy == nil {
+		return
+	}
+	m := s.cfg.Energy
+	ran := make([]bool, len(s.nodes))
+	for _, i := range busyIdx {
+		ran[i] = true
+	}
+	epochSec := s.cfg.Epoch.Seconds()
+	mid := now.Seconds() - epochSec/2
+	effLoad := s.cfg.BaseLoad * workload.ClampMultiplier(s.cfg.Shape.Multiplier(mid))
+
+	windowJ := 0.0
+	active, parked := 0, 0
+	for i, n := range s.nodes {
+		var j float64
+		switch {
+		case ran[i]:
+			ep := results[i]
+			j = ep.joules
+			if rem := epochSec - ep.span.Seconds(); rem > 1e-9 {
+				// Episode ended early (all jobs finished): the service rides
+				// alone for the remainder.
+				j += m.PowerAt(s.soloUtil(effLoad, n.freq), n.freq) * rem
+			}
+			if n.freq < m.Nominal() {
+				s.lowFreqWindows++
+			}
+		case n.state == autoscale.Parked:
+			j = m.ParkedW * epochSec
+			s.parkedWindows++
+		case n.state == autoscale.Waking:
+			j = m.IdleW * epochSec
+		default:
+			// Active (or draining) with no residents: the service alone.
+			j = m.PowerAt(s.soloUtil(effLoad, n.freq), n.freq) * epochSec
+		}
+		n.joules += j
+		windowJ += j
+		switch n.state {
+		case autoscale.Active, autoscale.Draining:
+			active++
+		case autoscale.Parked:
+			parked++
+		}
+	}
+	t := now.Seconds()
+	s.trace.Series("watts.cluster").Append(t, windowJ/epochSec)
+	s.trace.Series("nodes.active").Append(t, float64(active))
+	s.trace.Series("nodes.parked").Append(t, float64(parked))
+}
+
+// soloUtil estimates the socket utilization of a node whose interactive
+// service runs with no colocated jobs: the offered load fraction, inflated
+// by the frequency slowdown and clamped at saturation.
+func (s *run) soloUtil(effLoad float64, freq int) float64 {
+	u := effLoad * s.cfg.Energy.SlowdownAt(freq)
+	if u > 1 {
+		return 1
+	}
+	return u
 }
 
 // nodeStates snapshots the policy's view of the cluster for the window
@@ -499,10 +724,16 @@ func (s *run) nodeStates(now sim.Time) []NodeState {
 	states := make([]NodeState, len(s.nodes))
 	for i, n := range s.nodes {
 		st := NodeState{
-			Index:    i,
-			Node:     n.node,
-			Free:     n.node.MaxApps - len(n.resident),
-			LoadMult: workload.ClampMultiplier(s.cfg.Shape.Multiplier(mid)),
+			Index:     i,
+			Node:      n.node,
+			Free:      n.node.MaxApps - len(n.resident),
+			LoadMult:  workload.ClampMultiplier(s.cfg.Shape.Multiplier(mid)),
+			Lifecycle: n.state,
+			FreqState: n.freq,
+		}
+		if !n.state.Placeable() {
+			// Draining, parked, and waking nodes accept no new jobs.
+			st.Free = 0
 		}
 		for _, job := range n.resident {
 			st.Resident = append(st.Resident, job.App.Name)
@@ -595,6 +826,18 @@ func (s *run) finalize() Result {
 	if s.utilN > 0 {
 		out.MeanUtilization = s.utilSum / float64(s.utilN)
 	}
+	if s.cfg.Energy != nil {
+		for _, n := range s.nodes {
+			out.Joules += n.joules
+			out.NodeJoules = append(out.NodeJoules, NodeEnergy{Node: n.node.Name, Joules: n.joules})
+		}
+		if out.HorizonSec > 0 {
+			out.MeanWatts = out.Joules / out.HorizonSec
+		}
+		out.ParkedNodeWindows = s.parkedWindows
+		out.LowFreqNodeWindows = s.lowFreqWindows
+		out.Wakes = s.wakes
+	}
 
 	waitSum := 0.0
 	var inaccs []float64
@@ -657,6 +900,26 @@ func Render(results []Result) string {
 		s += fmt.Sprintf("  %-18s %8.0f%% %9.1fs %9.1fs %7.0f%% %10.2f%% %7d/%d\n",
 			r.Policy, r.QoSMetFrac*100, r.MeanWaitSec, r.MaxWaitSec,
 			r.MeanUtilization*100, r.MeanInaccuracy, r.Completed, r.Arrived)
+	}
+	withEnergy := false
+	for _, r := range results {
+		if r.Joules > 0 {
+			withEnergy = true
+			break
+		}
+	}
+	if withEnergy {
+		s += "cluster energy\n"
+		s += fmt.Sprintf("  %-18s %9s %8s %8s %8s %6s\n",
+			"policy", "energy", "mean W", "parked", "lowfreq", "wakes")
+		for _, r := range results {
+			if r.Joules == 0 {
+				continue
+			}
+			s += fmt.Sprintf("  %-18s %7.0fkJ %7.0fW %7dw %7dw %6d\n",
+				r.Policy, r.Joules/1000, r.MeanWatts,
+				r.ParkedNodeWindows, r.LowFreqNodeWindows, r.Wakes)
+		}
 	}
 	return s
 }

@@ -24,6 +24,13 @@
 //     event-driven cluster scheduler (RunSched): jobs stream in over a
 //     horizon, services ride time-varying load shapes, and placement
 //     policies consume each node's live runtime telemetry.
+//   - An energy dimension behind all of it (EnergyModelFor,
+//     ScenarioConfig.EnergyModel, SchedConfig.Energy): per-node power curves
+//     derived from the platform spec, joules accumulated in virtual time,
+//     node-lifecycle autoscaling (ConsolidateAutoscaler), and the
+//     approx-for-watts policy (ApproxForWattsAutoscaler) that spends
+//     approximation slack on lower frequency states — the "energy"
+//     experiment quantifies how many watts approximation buys at equal QoS.
 //
 // All randomness is seeded: equal configurations reproduce results
 // bit-for-bit. See DESIGN.md for the architecture and the
@@ -37,10 +44,12 @@ import (
 	"github.com/approx-sched/pliant/internal/accept"
 	"github.com/approx-sched/pliant/internal/app"
 	"github.com/approx-sched/pliant/internal/approx"
+	"github.com/approx-sched/pliant/internal/autoscale"
 	"github.com/approx-sched/pliant/internal/cluster"
 	"github.com/approx-sched/pliant/internal/colocate"
 	"github.com/approx-sched/pliant/internal/core"
 	"github.com/approx-sched/pliant/internal/dse"
+	"github.com/approx-sched/pliant/internal/energy"
 	"github.com/approx-sched/pliant/internal/experiments"
 	"github.com/approx-sched/pliant/internal/export"
 	"github.com/approx-sched/pliant/internal/monitor"
@@ -273,6 +282,48 @@ func NewReplayLoad(timesSec, mult []float64) (ReplayLoad, error) {
 	return workload.NewReplay(timesSec, mult)
 }
 
+// Energy modeling and autoscaling: the watts that approximation buys. A
+// power model derived from the platform spec attaches to scenarios
+// (ScenarioConfig.EnergyModel) and scheduling runs (SchedConfig.Energy);
+// autoscalers park idle nodes and spend approximation slack on lower
+// frequency states (SchedConfig.Autoscaler).
+type (
+	// EnergyModel is a per-node power curve (idle/active over utilization,
+	// frequency ladder, wake cost) derived from a PlatformSpec.
+	EnergyModel = energy.Model
+	// EnergyAccumulator integrates power over virtual time into joules.
+	EnergyAccumulator = energy.Accumulator
+	// AutoscaleState is a node's lifecycle position (active, draining,
+	// parked, waking).
+	AutoscaleState = autoscale.State
+	// AutoscaleController decides lifecycle and frequency transitions at
+	// every scheduling boundary.
+	AutoscaleController = autoscale.Controller
+	// AutoscaleView is the cluster snapshot controllers decide against.
+	AutoscaleView = autoscale.View
+	// AutoscaleAction is one lifecycle actuation.
+	AutoscaleAction = autoscale.Action
+	// ConsolidateAutoscaler parks surplus idle nodes behind a capacity
+	// reserve and wakes them under backlog.
+	ConsolidateAutoscaler = autoscale.Consolidate
+	// ApproxForWattsAutoscaler adds slack-funded frequency scaling on top
+	// of consolidation — the Pliant-style energy policy.
+	ApproxForWattsAutoscaler = autoscale.ApproxForWatts
+)
+
+// Node lifecycle states.
+const (
+	NodeActive   = autoscale.Active
+	NodeDraining = autoscale.Draining
+	NodeParked   = autoscale.Parked
+	NodeWaking   = autoscale.Waking
+)
+
+// EnergyModelFor derives a power model from a server spec: peak draw
+// calibrated to the Table 1 part's TDP, a ~45%-of-peak idle floor, and a
+// three-state frequency ladder at 60/80/100% of base frequency.
+func EnergyModelFor(spec PlatformSpec) EnergyModel { return energy.ModelFor(spec) }
+
 // Online cluster scheduling (the event-driven form of Sec. 6.4: job streams,
 // time-varying load, telemetry-fed placement).
 type (
@@ -291,10 +342,15 @@ type (
 	// NodeTelemetry is the Pliant runtime feedback a node feeds the
 	// scheduler.
 	NodeTelemetry = cluster.Telemetry
+	// SchedNodeEnergy is one node's share of a run's energy ledger.
+	SchedNodeEnergy = sched.NodeEnergy
 	// FirstFitPlacement is the telemetry-blind online baseline.
 	FirstFitPlacement = sched.FirstFit
 	// BestFitPlacement packs slots tightest-first.
 	BestFitPlacement = sched.BestFit
+	// SpreadPlacement scatters jobs emptiest-node-first — the QoS-friendly,
+	// watts-hostile endpoint of the energy study.
+	SpreadPlacement = sched.Spread
 	// TelemetryAwarePlacement consumes live runtime telemetry and per-app
 	// pressure for placement and admission.
 	TelemetryAwarePlacement = sched.TelemetryAware
@@ -348,7 +404,7 @@ func Experiments() []ExperimentEntry { return experiments.Registry() }
 
 // RunExperiment runs one experiment by ID ("table1", "fig1dse", "fig1impact",
 // "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "overhead",
-// "sched").
+// "sched", "energy").
 func RunExperiment(id string, p ExperimentProfile) (Renderer, error) {
 	e, err := experiments.ByID(id)
 	if err != nil {
