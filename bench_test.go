@@ -7,6 +7,7 @@
 package pliant_test
 
 import (
+	"runtime"
 	"testing"
 
 	pliant "github.com/approx-sched/pliant"
@@ -287,6 +288,75 @@ func BenchmarkSchedEnergyDiurnal(b *testing.B) {
 	}
 	b.ReportMetric(met/float64(b.N), "QoSMetFrac")
 	b.ReportMetric(kj/float64(b.N), "kJ/day")
+}
+
+// shardedBenchConfig is the sharded-runtime scenario: one compressed diurnal
+// day on a 128-node cluster — the Sec. 6.4 study at the scale where a single
+// engine leaves cores idle.
+func shardedBenchConfig(shards int) pliant.SchedConfig {
+	shape, _ := pliant.NewDiurnalLoad(0.25, 120)
+	var nodes []pliant.ClusterNode
+	for i := 0; i < 128; i++ {
+		switch i % 3 {
+		case 0:
+			nodes = append(nodes, pliant.ClusterNode{Name: "cache", Service: pliant.Memcached, MaxApps: 3})
+		case 1:
+			nodes = append(nodes, pliant.ClusterNode{Name: "web", Service: pliant.NGINX, MaxApps: 3})
+		default:
+			nodes = append(nodes, pliant.ClusterNode{Name: "db", Service: pliant.MongoDB, MaxApps: 3})
+		}
+	}
+	return pliant.SchedConfig{
+		Seed:       42,
+		Nodes:      nodes,
+		Policy:     pliant.TelemetryAwarePlacement{},
+		Horizon:    120 * pliant.Second,
+		Epoch:      10 * pliant.Second,
+		JobsPerSec: 2.0,
+		BaseLoad:   0.65,
+		Shape:      shape,
+		TimeScale:  16,
+		Shards:     shards,
+	}
+}
+
+// BenchmarkSchedShardedDiurnal measures the sharded multi-engine runtime on
+// the 128-node day: "single" is the single-engine path with a serial episode
+// loop, "pool" the single-engine path with the per-window worker pool, and
+// "sharded" one shard per core advancing windows in parallel. All three
+// produce byte-identical results (TestGoldenShardInvariance); only the
+// wall-clock differs, so comparing ns/op across the sub-benchmarks measures
+// the speedup directly.
+func BenchmarkSchedShardedDiurnal(b *testing.B) {
+	shards := runtime.GOMAXPROCS(0)
+	if shards < 2 {
+		shards = 2 // shard machinery still engaged on a one-core runner
+	}
+	run := func(b *testing.B, cfg pliant.SchedConfig) {
+		var met float64
+		for i := 0; i < b.N; i++ {
+			res, err := pliant.RunSched(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			met += res.QoSMetFrac
+		}
+		b.ReportMetric(met/float64(b.N), "QoSMetFrac")
+	}
+	b.Run("single", func(b *testing.B) {
+		cfg := shardedBenchConfig(1)
+		cfg.Workers = 1
+		run(b, cfg)
+	})
+	b.Run("pool", func(b *testing.B) {
+		run(b, shardedBenchConfig(1))
+	})
+	b.Run("sharded", func(b *testing.B) {
+		cfg := shardedBenchConfig(shards)
+		b.ReportMetric(float64(shards), "shards")
+		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+		run(b, cfg)
+	})
 }
 
 // BenchmarkSchedWorkers quantifies the node-simulation worker pool: the same

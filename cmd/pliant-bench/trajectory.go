@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"testing"
 
 	pliant "github.com/approx-sched/pliant"
@@ -79,6 +80,35 @@ func energySchedBenchConfig() pliant.SchedConfig {
 		LowWater:    0.6,
 	}
 	return cfg
+}
+
+// shardedBenchConfig mirrors BenchmarkSchedShardedDiurnal in bench_test.go:
+// one compressed diurnal day on a 128-node cluster.
+func shardedBenchConfig(shards int) pliant.SchedConfig {
+	shape, _ := pliant.NewDiurnalLoad(0.25, 120)
+	var nodes []pliant.ClusterNode
+	for i := 0; i < 128; i++ {
+		switch i % 3 {
+		case 0:
+			nodes = append(nodes, pliant.ClusterNode{Name: "cache", Service: pliant.Memcached, MaxApps: 3})
+		case 1:
+			nodes = append(nodes, pliant.ClusterNode{Name: "web", Service: pliant.NGINX, MaxApps: 3})
+		default:
+			nodes = append(nodes, pliant.ClusterNode{Name: "db", Service: pliant.MongoDB, MaxApps: 3})
+		}
+	}
+	return pliant.SchedConfig{
+		Seed:       42,
+		Nodes:      nodes,
+		Policy:     pliant.TelemetryAwarePlacement{},
+		Horizon:    120 * pliant.Second,
+		Epoch:      10 * pliant.Second,
+		JobsPerSec: 2.0,
+		BaseLoad:   0.65,
+		Shape:      shape,
+		TimeScale:  16,
+		Shards:     shards,
+	}
 }
 
 // schedBenchConfig mirrors the diurnal-day scenario in bench_test.go.
@@ -174,6 +204,42 @@ func runTrajectory(label string) error {
 		})))
 	}
 
+	// The sharded multi-engine runtime on a 128-node diurnal day, against
+	// the single-engine path on the same scenario. The sharded record
+	// carries the speedup metadata (shards, cores, speedup) the -verify
+	// gate requires, so every trajectory point states the parallelism it
+	// was measured under — a speedup of ~1 on a one-core runner is expected
+	// and readable as such.
+	singleRec := record("SchedShardedDiurnal/single", testing.Benchmark(func(b *testing.B) {
+		cfg := shardedBenchConfig(1)
+		cfg.Workers = 1
+		for i := 0; i < b.N; i++ {
+			if _, err := pliant.RunSched(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	t.Benchmarks = append(t.Benchmarks, singleRec)
+	shards := runtime.GOMAXPROCS(0)
+	if shards < 2 {
+		shards = 2
+	}
+	shardedRec := record("SchedShardedDiurnal/sharded", testing.Benchmark(func(b *testing.B) {
+		cfg := shardedBenchConfig(shards)
+		for i := 0; i < b.N; i++ {
+			if _, err := pliant.RunSched(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	if shardedRec.Metrics == nil {
+		shardedRec.Metrics = map[string]float64{}
+	}
+	shardedRec.Metrics["shards"] = float64(shards)
+	shardedRec.Metrics["cores"] = float64(runtime.GOMAXPROCS(0))
+	shardedRec.Metrics["speedup"] = singleRec.NsPerOp / shardedRec.NsPerOp
+	t.Benchmarks = append(t.Benchmarks, shardedRec)
+
 	path := fmt.Sprintf("BENCH_%s.json", label)
 	f, err := os.Create(path)
 	if err != nil {
@@ -226,6 +292,16 @@ func verifyTrajectories(dir string) error {
 		for _, b := range t.Benchmarks {
 			if b.Name == "" || b.NsPerOp <= 0 || b.Iterations <= 0 {
 				return fmt.Errorf("%s: malformed benchmark record %+v", p, b)
+			}
+			// Sharded-runtime records (BENCH_PR4.json onward) must state the
+			// parallelism they were measured under: a speedup figure is
+			// meaningless without the shard count and the cores it ran on.
+			if strings.HasPrefix(b.Name, "SchedShardedDiurnal/sharded") {
+				for _, key := range []string{"shards", "cores", "speedup"} {
+					if b.Metrics[key] <= 0 {
+						return fmt.Errorf("%s: %s missing %s metadata alongside ns/op", p, b.Name, key)
+					}
+				}
 			}
 		}
 		fmt.Printf("pliant-bench: %s ok (%d benchmarks, label %s)\n", p, len(t.Benchmarks), t.Label)

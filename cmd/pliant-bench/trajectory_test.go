@@ -43,3 +43,30 @@ func TestVerifyRejectsGarbage(t *testing.T) {
 		t.Error("benchmark-free trajectory verified")
 	}
 }
+
+// TestVerifyRequiresShardedSpeedupMetadata pins the PR4 gate: a sharded
+// trajectory record must carry shards/cores/speedup metrics alongside ns/op,
+// so every recorded speedup states the parallelism it was measured under.
+func TestVerifyRequiresShardedSpeedupMetadata(t *testing.T) {
+	dir := t.TempDir()
+	write := func(metrics string) {
+		t.Helper()
+		doc := `{"label":"PR4","benchmarks":[{"name":"SchedShardedDiurnal/sharded",` +
+			`"iterations":1,"ns_per_op":5.0e9` + metrics + `}]}`
+		if err := os.WriteFile(filepath.Join(dir, "BENCH_PR4.json"), []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("")
+	if err := verifyTrajectories(dir); err == nil {
+		t.Error("sharded record without speedup metadata verified")
+	}
+	write(`,"metrics":{"shards":4,"cores":4}`)
+	if err := verifyTrajectories(dir); err == nil {
+		t.Error("sharded record without a speedup figure verified")
+	}
+	write(`,"metrics":{"shards":4,"cores":4,"speedup":2.9}`)
+	if err := verifyTrajectories(dir); err != nil {
+		t.Errorf("complete sharded record rejected: %v", err)
+	}
+}

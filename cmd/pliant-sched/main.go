@@ -9,6 +9,7 @@
 //	pliant-sched -policy all -nodes memcached,nginx,mongodb,mongodb -rate 0.12
 //	pliant-sched -shape flash -peak 1.6 -timescale 16 -csv trace.csv
 //	pliant-sched -energy -autoscale approx-for-watts -policy telemetry
+//	pliant-sched -shards 8 -policy telemetry   # sharded multi-engine run
 package main
 
 import (
@@ -24,19 +25,21 @@ func main() {
 	var (
 		nodesFlag = flag.String("nodes", "memcached,nginx,mongodb",
 			"comma-separated node services; one node per entry")
-		maxApps    = flag.Int("maxapps", 3, "job slots per node")
-		policy     = flag.String("policy", "all", "placement policy: first-fit, best-fit, spread, telemetry, all")
-		horizon    = flag.Float64("horizon", 240, "cluster-time horizon in seconds")
-		epoch      = flag.Float64("epoch", 12, "scheduling window in seconds")
-		rate       = flag.Float64("rate", 0, "job arrivals per second (0 = sized to capacity)")
-		load       = flag.Float64("load", 0.65, "base offered load on every node's service")
-		shape      = flag.String("shape", "diurnal", "load shape: steady, diurnal, flash")
-		amp        = flag.Float64("amp", 0.25, "diurnal amplitude around 1")
-		period     = flag.Float64("period", 0, "diurnal period in seconds (0 = one day across the horizon)")
-		peak       = flag.Float64("peak", 1.6, "flash-crowd peak multiplier")
-		seed       = flag.Uint64("seed", 1, "simulation seed")
-		scale      = flag.Float64("timescale", 1, "request-timescale multiplier (16 = fast profile)")
-		workers    = flag.Int("workers", 0, "node-simulation worker pool size (0 = GOMAXPROCS)")
+		maxApps = flag.Int("maxapps", 3, "job slots per node")
+		policy  = flag.String("policy", "all", "placement policy: first-fit, best-fit, spread, telemetry, all")
+		horizon = flag.Float64("horizon", 240, "cluster-time horizon in seconds")
+		epoch   = flag.Float64("epoch", 12, "scheduling window in seconds")
+		rate    = flag.Float64("rate", 0, "job arrivals per second (0 = sized to capacity)")
+		load    = flag.Float64("load", 0.65, "base offered load on every node's service")
+		shape   = flag.String("shape", "diurnal", "load shape: steady, diurnal, flash")
+		amp     = flag.Float64("amp", 0.25, "diurnal amplitude around 1")
+		period  = flag.Float64("period", 0, "diurnal period in seconds (0 = one day across the horizon)")
+		peak    = flag.Float64("peak", 1.6, "flash-crowd peak multiplier")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		scale   = flag.Float64("timescale", 1, "request-timescale multiplier (16 = fast profile)")
+		workers = flag.Int("workers", 0, "node-simulation worker pool size (0 = GOMAXPROCS; single-engine path only)")
+		shards  = flag.Int("shards", 1,
+			"per-worker engine groups advancing windows in parallel (results are byte-identical for any value)")
 		jobsFlag   = flag.String("jobs", "", "comma-separated catalog apps to cycle jobs through (default: shuffled catalog)")
 		jsonOut    = flag.String("json", "", "write the result as JSON to a file ('-' for stdout)")
 		csvOut     = flag.String("csv", "", "write the cluster-horizon trace as CSV to a file ('-' for stdout)")
@@ -65,6 +68,7 @@ func main() {
 		Shape:      ls,
 		TimeScale:  *scale,
 		Workers:    *workers,
+		Shards:     *shards,
 	}
 	if *jobsFlag != "" {
 		cfg.JobNames = strings.Split(*jobsFlag, ",")

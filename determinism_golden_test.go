@@ -32,18 +32,32 @@ const (
 	goldenScenarioJSON    = "ef9132c0d06d778cc33acd9b0dee2d80b774a2e6dc291a4453cf1f6b08c6bea5"
 	goldenScenarioCSV     = "95e2a13ad2cfd2de68d2cade5278019363df7b6a62737d90549e0026f70cd23d"
 
-	goldenSchedQoSMetFrac = "0.44444444444444442"
-	goldenSchedJSON       = "b7758dd2a67a76d2ec66e12b808c012bf2cce36cf66fe75cea536188d12dfd45"
-	goldenSchedCSV        = "62f944ed835457cceb8e79e3872b9fa822e9e2675b667ff5bfd5478020d4f3ed"
+	// The sched and energy goldens were re-recorded in PR 4 when the
+	// per-episode seed derivation moved from an XOR of multiplied counters
+	// (collision-prone across (node, window) pairs) to a splitmix64 mix —
+	// an intentional, documented output change: every node-window episode
+	// draws from a different (now decorrelated) random stream, so all
+	// sched-level figures shifted. The scenario goldens predate the episode
+	// seeder and are unchanged.
+	goldenSchedQoSMetFrac = "0.66666666666666663"
+	goldenSchedJSON       = "f2b09c33262726f82664840decf570bd9109c300d92e11944ff76829e07ca21c"
+	goldenSchedCSV        = "a22a47a943ad9b54e1fbfa5fb4906f58738a6dcd69f0aa359994ac06c7df48c5"
 
 	// goldenEnergy pins the energy subsystem (PR 3): the approx-for-watts
 	// bundle over a compressed diurnal day with the Table 1 power model.
 	// Joules is an exact float print — energy accumulation must stay
 	// bit-deterministic across refactors, worker counts included.
-	goldenEnergyQoSMetFrac = "0.76923076923076927"
-	goldenEnergyJoules     = "20351.31073497004"
-	goldenEnergyJSON       = "8f70c89150e02ce03b67b211f9434137a9313df17e0fa7cfecc73ce4b2c96565"
-	goldenEnergyCSV        = "d0622a6038ebd00a2dbfd03d916c1631243b78a8d3b9037c722303fe1e32ed5b"
+	goldenEnergyQoSMetFrac = "0.69230769230769229"
+	goldenEnergyJoules     = "19660.784823142843"
+	goldenEnergyJSON       = "31cf76a382ef80c8cdf9f313d1ed9f1ed5ee6d990f2aa4d072f56efbc186e0de"
+	goldenEnergyCSV        = "2afc891b498efbc49cc616bad329c4f4a23538e7611528e6c99528eb3eaf4d3e"
+
+	// goldenShard pins the sharded multi-engine runtime (PR 4): a six-node
+	// energy-managed day must export byte-identical JSON/CSV at every shard
+	// count. The constants are recorded from the single-engine path; the
+	// test replays the run at shards=2 and shards=4 against the same pins.
+	goldenShardJSON = "332c30a198c6cc23f1e1d4c351a114cc502b1229d7e535d9dc32caa2d6c78f13"
+	goldenShardCSV  = "e3b87b3f1cfd2722179806f89cb49e4a465658307c8f4c4caf049cfa634f225a"
 )
 
 func goldenScenarioConfig() pliant.ScenarioConfig {
@@ -85,6 +99,22 @@ func goldenEnergyConfig() pliant.SchedConfig {
 		Consolidate: pliant.ConsolidateAutoscaler{ReserveSlots: 2},
 		LowWater:    0.6,
 	}
+	return cfg
+}
+
+// goldenShardConfig is the sharded-runtime golden scenario: six nodes (so a
+// four-way shard split is non-degenerate), the Table 1 power model, and the
+// approx-for-watts bundle, exercising every merge-barrier surface (episode
+// folds, telemetry roll-ups, lifecycle, verdicts, energy ledger).
+func goldenShardConfig(shards int) pliant.SchedConfig {
+	cfg := goldenEnergyConfig()
+	cfg.Nodes = append(cfg.Nodes,
+		pliant.ClusterNode{Name: "cache-2", Service: pliant.Memcached, MaxApps: 2},
+		pliant.ClusterNode{Name: "web-2", Service: pliant.NGINX, MaxApps: 2},
+		pliant.ClusterNode{Name: "db-2", Service: pliant.MongoDB, MaxApps: 2},
+	)
+	cfg.JobsPerSec = 0.25
+	cfg.Shards = shards
 	return cfg
 }
 
@@ -157,6 +187,51 @@ func TestGoldenSched(t *testing.T) {
 	}
 	if got := sha(csv.Bytes()); got != goldenSchedCSV {
 		t.Errorf("sched trace CSV hash = %s, golden %s", got, goldenSchedCSV)
+	}
+}
+
+// TestGoldenShardInvariance is the sharded runtime's acceptance golden:
+// sched.Run at shards=2 and shards=4 must produce byte-identical JSON and
+// CSV exports to the single-engine path (shards=1), pinned by hash so a
+// divergence in any shard-merge order fails loudly. It runs in -short (and
+// so under the CI race job, where the shard goroutines' handoff is the
+// interesting surface).
+func TestGoldenShardInvariance(t *testing.T) {
+	export := func(shards int) (js, csv []byte) {
+		t.Helper()
+		res, err := pliant.RunSched(goldenShardConfig(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j, c bytes.Buffer
+		if err := pliant.WriteSchedResultJSON(&j, res); err != nil {
+			t.Fatal(err)
+		}
+		if err := pliant.WriteSchedTraceCSV(&c, res); err != nil {
+			t.Fatal(err)
+		}
+		return j.Bytes(), c.Bytes()
+	}
+	js1, csv1 := export(1)
+	if os.Getenv("PLIANT_GOLDEN") == "print" {
+		t.Logf("goldenShardJSON = %q", sha(js1))
+		t.Logf("goldenShardCSV  = %q", sha(csv1))
+		return
+	}
+	if got := sha(js1); got != goldenShardJSON {
+		t.Errorf("single-engine JSON hash = %s, golden %s", got, goldenShardJSON)
+	}
+	if got := sha(csv1); got != goldenShardCSV {
+		t.Errorf("single-engine CSV hash = %s, golden %s", got, goldenShardCSV)
+	}
+	for _, shards := range []int{2, 4} {
+		js, csv := export(shards)
+		if !bytes.Equal(js, js1) {
+			t.Errorf("shards=%d JSON differs from single-engine bytes", shards)
+		}
+		if !bytes.Equal(csv, csv1) {
+			t.Errorf("shards=%d CSV differs from single-engine bytes", shards)
+		}
 	}
 }
 

@@ -122,11 +122,47 @@ type Controller interface {
 type Consolidate struct {
 	// ReserveSlots is the free-capacity headroom kept awake beyond the
 	// pending queue (default 2): the price of not paying wake latency on
-	// every small burst.
+	// every small burst. The zero value means "default", so an explicit
+	// zero-slot reserve — park everything the queue does not need — is
+	// requested with any negative value (NoReserve).
 	ReserveSlots int
 
 	// MinActive is the floor of placeable-or-waking nodes (default 1).
+	// Like ReserveSlots, the zero value means "default": an explicit zero
+	// floor — the whole cluster may park — is requested with any negative
+	// value (NoReserve).
 	MinActive int
+}
+
+// NoReserve is the sentinel for an explicit zero in Consolidate's sized
+// knobs (ReserveSlots, MinActive), whose zero values mean "default" — so
+// "none at all" needs a value the zero-value ambiguity cannot eat.
+const NoReserve = -1
+
+// Reserve resolves ReserveSlots: the default (2) for the zero value, zero
+// for NoReserve (any negative), the literal count otherwise.
+func (c Consolidate) Reserve() int {
+	switch {
+	case c.ReserveSlots < 0:
+		return 0
+	case c.ReserveSlots == 0:
+		return 2
+	default:
+		return c.ReserveSlots
+	}
+}
+
+// ActiveFloor resolves MinActive under the same contract: default (1) for
+// the zero value, zero for NoReserve (any negative).
+func (c Consolidate) ActiveFloor() int {
+	switch {
+	case c.MinActive < 0:
+		return 0
+	case c.MinActive == 0:
+		return 1
+	default:
+		return c.MinActive
+	}
 }
 
 // Name identifies the policy.
@@ -134,14 +170,8 @@ func (Consolidate) Name() string { return "consolidate" }
 
 // Decide implements Controller.
 func (c Consolidate) Decide(v View) []Action {
-	reserve := c.ReserveSlots
-	if reserve == 0 {
-		reserve = 2
-	}
-	minActive := c.MinActive
-	if minActive == 0 {
-		minActive = 1
-	}
+	reserve := c.Reserve()
+	minActive := c.ActiveFloor()
 
 	free := v.FreeSlots()
 	awake := 0 // nodes that are or will shortly be placeable

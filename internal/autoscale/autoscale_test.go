@@ -66,6 +66,57 @@ func TestConsolidateRespectsResidentsAndFloor(t *testing.T) {
 	}
 }
 
+// TestConsolidateExplicitZeroReserve is the regression test for the
+// zero-value ambiguity: ReserveSlots == 0 means "default to 2", so an
+// explicit zero-slot reserve needs the NoReserve sentinel.
+func TestConsolidateExplicitZeroReserve(t *testing.T) {
+	if got := (Consolidate{}).Reserve(); got != 2 {
+		t.Errorf("zero-value reserve resolves to %d, want the default 2", got)
+	}
+	if got := (Consolidate{ReserveSlots: NoReserve}).Reserve(); got != 0 {
+		t.Errorf("NoReserve resolves to %d, want 0", got)
+	}
+	if got := (Consolidate{ReserveSlots: 5}).Reserve(); got != 5 {
+		t.Errorf("explicit reserve resolves to %d, want 5", got)
+	}
+
+	// One parked node, three pending jobs, three free slots: with the
+	// default reserve the queue plus headroom (3+2) exceeds capacity and the
+	// parked node wakes; with an explicit zero reserve capacity exactly
+	// covers the queue and nothing wakes — previously impossible to request.
+	v := view(2, 3, func(v *View) { v.Nodes[1].State = Parked })
+	if got := kinds(Consolidate{}.Decide(v)); len(got[Wake]) != 1 {
+		t.Errorf("default reserve woke %v, want one wake", got[Wake])
+	}
+	if got := kinds(Consolidate{ReserveSlots: NoReserve}.Decide(v)); len(got[Wake]) != 0 {
+		t.Errorf("zero reserve woke %v, want none", got[Wake])
+	}
+
+	// And on the surplus side: four empty nodes, nothing pending — a zero
+	// reserve parks down to the MinActive floor alone.
+	got := kinds(Consolidate{ReserveSlots: NoReserve}.Decide(view(4, 0)))
+	if want := []int{3, 2, 1}; !reflect.DeepEqual(got[Park], want) {
+		t.Errorf("zero reserve parked %v, want %v", got[Park], want)
+	}
+	// MinActive follows the same contract: NoReserve drops the floor too,
+	// so a fully idle cluster may park every node.
+	got = kinds(Consolidate{ReserveSlots: NoReserve, MinActive: NoReserve}.Decide(view(4, 0)))
+	if want := []int{3, 2, 1, 0}; !reflect.DeepEqual(got[Park], want) {
+		t.Errorf("zero reserve + zero floor parked %v, want %v", got[Park], want)
+	}
+	if got := (Consolidate{}).ActiveFloor(); got != 1 {
+		t.Errorf("zero-value floor resolves to %d, want the default 1", got)
+	}
+	if got := (Consolidate{MinActive: NoReserve}).ActiveFloor(); got != 0 {
+		t.Errorf("NoReserve floor resolves to %d, want 0", got)
+	}
+	// The sentinel flows through the embedding controller too.
+	got = kinds(ApproxForWatts{Consolidate: Consolidate{ReserveSlots: NoReserve}}.Decide(v))
+	if len(got[Wake]) != 0 {
+		t.Errorf("approx-for-watts with zero reserve woke %v, want none", got[Wake])
+	}
+}
+
 func TestConsolidateWakesUnderBacklog(t *testing.T) {
 	// Two parked nodes, deep queue: free capacity (3) can't cover
 	// pending+reserve (6+2), so both wake, lowest index first.

@@ -56,6 +56,14 @@ type Config struct {
 	TimeScale float64
 	// LoadFraction is the offered load on every node's service.
 	LoadFraction float64
+
+	// EnergyModel attaches per-node power accounting, for parity with the
+	// online scheduler (sched.Config.Energy): every busy node's episode
+	// meters its joules and the Result carries the cluster total. Empty
+	// nodes run no episode and so have no metered span — they report zero.
+	// Nil keeps energy accounting off and results identical to prior
+	// versions.
+	EnergyModel *energy.Model
 }
 
 // NodeSeed derives the deterministic per-node seed the batch study and the
@@ -179,6 +187,40 @@ func (t *Telemetry) Observe(r monitor.Report) {
 	}
 }
 
+// WindowStats aggregates the QoS outcome of one scheduling window over a set
+// of busy nodes — the telemetry roll-up the online scheduler traces at every
+// window boundary. It is shard-aware by construction: every field is
+// order-insensitive (two counters and a running max), so per-shard stats
+// folded node-locally and merged in a fixed shard order are byte-identical
+// to a single engine folding all nodes in node order.
+type WindowStats struct {
+	// Busy and Met count busy nodes and those whose telemetry met QoS.
+	Busy, Met int
+	// WorstP99 is the worst node's recency-weighted p99/QoS this window.
+	WorstP99 float64
+}
+
+// Fold accumulates one busy node's window telemetry.
+func (w *WindowStats) Fold(t Telemetry) {
+	w.Busy++
+	if t.QoSMet() {
+		w.Met++
+	}
+	if t.P99OverQoS > w.WorstP99 {
+		w.WorstP99 = t.P99OverQoS
+	}
+}
+
+// Merge folds another shard's stats into w. Call it over shards in a fixed
+// order at the window barrier.
+func (w *WindowStats) Merge(o WindowStats) {
+	w.Busy += o.Busy
+	w.Met += o.Met
+	if o.WorstP99 > w.WorstP99 {
+		w.WorstP99 = o.WorstP99
+	}
+}
+
 // NodeResult is the outcome of one node's colocation run.
 type NodeResult struct {
 	Node       string
@@ -187,6 +229,11 @@ type NodeResult struct {
 	TypicalP99 float64 // relative to QoS
 	ViolFrac   float64
 	Inaccuracy []float64
+
+	// Joules and MeanWatts meter the node's episode when Config.EnergyModel
+	// is set (zero otherwise, and for empty nodes, which run no episode).
+	Joules    float64
+	MeanWatts float64
 }
 
 // Result aggregates a cluster run.
@@ -201,6 +248,10 @@ type Result struct {
 	MeanInaccuracy float64
 	// WorstP99 is the worst node's steady-state p99/QoS.
 	WorstP99 float64
+
+	// Joules totals the busy nodes' metered energy (zero without
+	// Config.EnergyModel), summed in node order for byte determinism.
+	Joules float64
 }
 
 // Run places the jobs and executes every node's colocation concurrently.
@@ -216,6 +267,11 @@ func Run(cfg Config) (Result, error) {
 	}
 	if cfg.LoadFraction == 0 {
 		cfg.LoadFraction = 0.78
+	}
+	if cfg.EnergyModel != nil {
+		if err := cfg.EnergyModel.Validate(); err != nil {
+			return Result{}, err
+		}
 	}
 	jobs := make([]app.Profile, len(cfg.Jobs))
 	for i, name := range cfg.Jobs {
@@ -259,6 +315,7 @@ func Run(cfg Config) (Result, error) {
 				AppNames:     perNode[i],
 				LoadFraction: cfg.LoadFraction,
 				TimeScale:    cfg.TimeScale,
+				EnergyModel:  cfg.EnergyModel,
 			})
 			if err != nil {
 				errs[i] = err
@@ -266,6 +323,8 @@ func Run(cfg Config) (Result, error) {
 			}
 			nr.TypicalP99 = res.TypicalOverQoS()
 			nr.ViolFrac = res.ViolationFrac
+			nr.Joules = res.Joules
+			nr.MeanWatts = res.MeanWatts
 			for _, a := range res.Apps {
 				nr.Inaccuracy = append(nr.Inaccuracy, a.Inaccuracy)
 			}
@@ -288,6 +347,7 @@ func Run(cfg Config) (Result, error) {
 		if nr.TypicalP99 > out.WorstP99 {
 			out.WorstP99 = nr.TypicalP99
 		}
+		out.Joules += nr.Joules
 		inaccs = append(inaccs, nr.Inaccuracy...)
 	}
 	out.QoSMetFraction = float64(met) / float64(len(out.Nodes))

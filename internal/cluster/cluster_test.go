@@ -6,7 +6,9 @@ import (
 	"testing"
 
 	"github.com/approx-sched/pliant/internal/app"
+	"github.com/approx-sched/pliant/internal/energy"
 	"github.com/approx-sched/pliant/internal/monitor"
+	"github.com/approx-sched/pliant/internal/platform"
 	"github.com/approx-sched/pliant/internal/service"
 	"github.com/approx-sched/pliant/internal/sim"
 )
@@ -142,6 +144,66 @@ func TestClusterRunEndToEnd(t *testing.T) {
 	}
 	if res.MeanInaccuracy <= 0 || res.MeanInaccuracy > 6 {
 		t.Fatalf("mean inaccuracy %.2f%%", res.MeanInaccuracy)
+	}
+}
+
+// TestClusterRunEnergyParity covers the batch layer's energy threading
+// (ROADMAP "Batch cluster layer energy"): with an EnergyModel the batch
+// study meters joules per busy node and totals them in the Result, without
+// perturbing any scheduling outcome; without one, all energy fields stay
+// zero.
+func TestClusterRunEnergyParity(t *testing.T) {
+	model := energy.ModelFor(platform.TablePlatform())
+	cfg := Config{
+		Seed:      3,
+		Nodes:     testNodes(),
+		Jobs:      []string{"canneal", "SNP", "raytrace", "Bayesian"},
+		Policy:    RoundRobin{},
+		TimeScale: 16,
+	}
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.EnergyModel = &model
+	metered, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if plain.Joules != 0 {
+		t.Errorf("energy-free run totaled %v J", plain.Joules)
+	}
+	if metered.Joules <= 0 {
+		t.Fatal("metered run totaled no energy")
+	}
+	if metered.QoSMetFraction != plain.QoSMetFraction || metered.WorstP99 != plain.WorstP99 ||
+		metered.MeanInaccuracy != plain.MeanInaccuracy {
+		t.Errorf("energy metering perturbed scheduling:\nmetered: %+v\nplain:   %+v", metered, plain)
+	}
+	sum := 0.0
+	for i, nr := range metered.Nodes {
+		if len(nr.Apps) > 0 && (nr.Joules <= 0 || nr.MeanWatts <= 0) {
+			t.Errorf("busy node %s metered %v J / %v W", nr.Node, nr.Joules, nr.MeanWatts)
+		}
+		if len(nr.Apps) == 0 && nr.Joules != 0 {
+			t.Errorf("empty node %s metered %v J", nr.Node, nr.Joules)
+		}
+		if plain.Nodes[i].Joules != 0 {
+			t.Errorf("energy-free node %s metered %v J", nr.Node, plain.Nodes[i].Joules)
+		}
+		sum += nr.Joules
+	}
+	if diff := math.Abs(sum - metered.Joules); diff > 1e-9 {
+		t.Errorf("node joules sum to %v, total %v", sum, metered.Joules)
+	}
+
+	// A malformed model is rejected up front.
+	broken := model
+	broken.FreqGHz = nil
+	cfg.EnergyModel = &broken
+	if _, err := Run(cfg); err == nil {
+		t.Error("invalid energy model accepted")
 	}
 }
 

@@ -246,6 +246,129 @@ func TestApproxForWattsHeadline(t *testing.T) {
 	}
 }
 
+// scriptedLifecycle parks a node at one boundary and wakes it at another —
+// a pure function of the view's clock, so runs stay deterministic.
+type scriptedLifecycle struct {
+	node           int
+	parkAt, wakeAt float64
+}
+
+func (scriptedLifecycle) Name() string { return "scripted" }
+
+func (c scriptedLifecycle) Decide(v autoscale.View) []autoscale.Action {
+	switch v.NowSec {
+	case c.parkAt:
+		return []autoscale.Action{{Kind: autoscale.Park, Node: c.node}}
+	case c.wakeAt:
+		return []autoscale.Action{{Kind: autoscale.Wake, Node: c.node}}
+	}
+	return nil
+}
+
+// wakingConfig is the two-node scenario of the waking-window tests: node 1
+// is parked at t=10 and woken at t=30 under a model whose WakeDelay spans
+// 2.5 scheduling windows (wakeAt = 55s, placeable from the t=60 boundary).
+func wakingConfig(m *energy.Model) Config {
+	return Config{
+		Seed: 11,
+		Nodes: []cluster.Node{
+			{Name: "cache-1", Service: service.Memcached, MaxApps: 3},
+			{Name: "web-1", Service: service.NGINX, MaxApps: 3},
+		},
+		Policy:     FirstFit{},
+		Horizon:    90 * sim.Second,
+		Epoch:      10 * sim.Second,
+		BaseLoad:   0.65,
+		TimeScale:  32,
+		Energy:     m,
+		Autoscaler: scriptedLifecycle{node: 1, parkAt: 10, wakeAt: 30},
+	}
+}
+
+// TestWakingNodeChargedWakeEnergyOnce pins the energy side of a wake that
+// spans multiple window boundaries: the node pays the model's wake energy
+// exactly once (at the Wake action, not per waking window), draws the idle
+// floor for every window it spends waking, and the parked/waking windows
+// land in the ledger analytically.
+func TestWakingNodeChargedWakeEnergyOnce(t *testing.T) {
+	m := energy.ModelFor(platform.TablePlatform())
+	m.WakeDelay = 25 * sim.Second // 2.5 epochs: waking across 3 window accounts
+	cfg := wakingConfig(&m)
+	// No job ever arrives: node 1's whole ledger is analytic.
+	cfg.Arrivals = burstArrivals{quietSec: 1e6, gapSec: 1}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Wakes != 1 {
+		t.Fatalf("wakes = %d, want exactly 1", res.Wakes)
+	}
+	// Node 1 parks for windows [10,20) and [20,30) only.
+	if res.ParkedNodeWindows != 2 {
+		t.Errorf("parked node-windows = %d, want 2", res.ParkedNodeWindows)
+	}
+	// Ledger: 4 active-idle windows (one before the park, three after the
+	// wake completes), 2 parked windows, 3 waking windows at the idle
+	// floor, and one wake charge.
+	util := 0.65 * m.SlowdownAt(m.Nominal())
+	if util > 1 {
+		util = 1
+	}
+	solo := m.PowerAt(util, m.Nominal())
+	want := 4*solo*10 + m.ParkedW*20 + m.IdleW*30 + m.WakeJ
+	got := res.NodeJoules[1].Joules
+	if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("waking node ledger = %v J, want %v J (Δ=%v)", got, want, diff)
+	}
+
+	// Re-run with free wakes: the ledgers must differ by exactly the wake
+	// energy, proving it was charged once and nowhere else.
+	free := m
+	free.WakeJ = 0
+	cfgFree := wakingConfig(&free)
+	cfgFree.Arrivals = burstArrivals{quietSec: 1e6, gapSec: 1}
+	resFree, err := Run(cfgFree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := got - resFree.NodeJoules[1].Joules - m.WakeJ; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("wake energy charged %v J more than a free-wake run, want exactly %v J",
+			got-resFree.NodeJoules[1].Joules, m.WakeJ)
+	}
+}
+
+// TestWakingNodeAcceptsNoPlacementsUntilAwake pins the placement side: while
+// WakeDelay spans windows t=30..55, a job flood starting at t=32 may only
+// land on the waking node from the t=60 boundary on, even with the other
+// node saturated.
+func TestWakingNodeAcceptsNoPlacementsUntilAwake(t *testing.T) {
+	m := energy.ModelFor(platform.TablePlatform())
+	m.WakeDelay = 25 * sim.Second
+	cfg := wakingConfig(&m)
+	cfg.Arrivals = burstArrivals{quietSec: 32, gapSec: 2}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Wakes != 1 {
+		t.Fatalf("wakes = %d, want 1", res.Wakes)
+	}
+	onWoken := 0
+	for _, j := range res.Jobs {
+		if j.Node != "web-1" {
+			continue
+		}
+		onWoken++
+		if j.StartSec < 60 {
+			t.Errorf("job %d started on the waking node at t=%.0fs, before wake completed at t=60",
+				j.ID, j.StartSec)
+		}
+	}
+	if onWoken == 0 {
+		t.Fatal("flood never reached the woken node; the scenario lost its teeth")
+	}
+}
+
 // TestAutoscalerValidation covers the config errors of the energy surface.
 func TestAutoscalerValidation(t *testing.T) {
 	cfg := fastConfig(FirstFit{})

@@ -14,7 +14,10 @@
 // resuming each job's remaining work and emitting mid-run telemetry. Node
 // episodes are independent simulations, so a bounded worker pool runs them
 // in parallel across cores; results are folded back in node order, keeping
-// runs bit-for-bit deterministic under a fixed seed.
+// runs bit-for-bit deterministic under a fixed seed. At 100+-node scale,
+// Config.Shards partitions the cluster into per-worker engine groups that
+// advance each window on their own clocks and merge deterministically at
+// window boundaries (see shard.go) — byte-identical for any shard count.
 package sched
 
 import (
@@ -135,9 +138,21 @@ type Config struct {
 	// in the repo; 1 = paper scale, 16 = fast profile.
 	TimeScale float64
 
-	// Workers bounds how many node episodes simulate concurrently
-	// (default GOMAXPROCS).
+	// Workers bounds how many node episodes simulate concurrently on the
+	// single-engine path (default GOMAXPROCS). Ignored when Shards > 1:
+	// sharded runs take their parallelism from the shard count.
 	Workers int
+
+	// Shards partitions the cluster into per-worker engine groups: nodes
+	// are assigned round-robin to S shards, each advancing every scheduling
+	// window on its own engine clock and scratch concurrently, with a
+	// deterministic merge barrier at window boundaries (pending jobs,
+	// autoscaler verdicts, telemetry roll-ups, and the energy ledger fold
+	// in a fixed order — see DESIGN.md). Results are byte-identical for
+	// every value. 0 or 1 selects the single-engine path, where node
+	// episodes parallelize across Workers instead; values above the node
+	// count are clamped.
+	Shards int
 
 	// Energy attaches a per-node power model (internal/energy): episodes
 	// report joules through their telemetry, idle/parked/waking draw is
@@ -177,6 +192,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers < 1 {
 		c.Workers = 1 // negative means serial, as runPool has always treated it
+	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if n := len(c.Nodes); n > 0 && c.Shards > n {
+		c.Shards = n
 	}
 	if c.JobsPerSec == 0 && c.Arrivals == nil {
 		slots := 0
@@ -335,6 +356,14 @@ type run struct {
 	trace    *stats.Trace
 	err      error
 
+	// results[i] is node i's episode outcome for the window being merged,
+	// reused across windows (only busy slots are written and read).
+	results []episode
+
+	// shards is the sharded multi-engine runtime (nil on the single-engine
+	// path, cfg.Shards <= 1).
+	shards *shardGroup
+
 	// Energy counters (active only with cfg.Energy).
 	parkedWindows  int
 	lowFreqWindows int
@@ -371,9 +400,16 @@ func Run(cfg Config) (Result, error) {
 		s.nodes = append(s.nodes, &nodeRT{node: n, state: autoscale.Active, freq: nominalFreq})
 		s.slots += n.MaxApps
 	}
-	s.scratch = make([]*colocate.Scratch, cfg.Workers)
-	for w := range s.scratch {
-		s.scratch[w] = &colocate.Scratch{}
+	if cfg.Shards > 1 {
+		// Sharded multi-engine runs own one scratch per shard; the worker
+		// pool (and its per-worker scratch) is bypassed entirely.
+		s.shards = newShardGroup(s, cfg.Shards)
+		defer s.shards.close()
+	} else {
+		s.scratch = make([]*colocate.Scratch, cfg.Workers)
+		for w := range s.scratch {
+			s.scratch[w] = &colocate.Scratch{}
+		}
 	}
 
 	arrivals := cfg.Arrivals
@@ -534,9 +570,18 @@ func (s *run) autoscale(now sim.Time) {
 	}
 }
 
-// episodeSeed derives the deterministic seed of one node-window episode.
+// episodeSeed derives the deterministic seed of one node-window episode. The
+// per-node seed and the window counter combine by carry-propagating addition
+// and pass through the splitmix64 finalizer (sim.Mix64), replacing a bare
+// XOR of multiplied counters. The XOR form had structured collisions across
+// (node, window) pairs — NodeSeed(s, a) ^ w·C and NodeSeed(s, b) ^ v·C meet
+// whenever the products differ by the same bits as the node terms, which
+// carryless XOR makes easy to hit — silently correlating episode RNG
+// streams. With addition, a within-run collision needs Δnode·φ ≡ Δwindow·C
+// (mod 2⁶⁴) for bounded deltas — lattice-sparse rather than bit-structured —
+// and the final mix decorrelates the streams of any near-colliding inputs.
 func episodeSeed(seed uint64, node, window int) uint64 {
-	return cluster.NodeSeed(seed, node) ^ uint64(window+1)*0xbf58476d1ce4e5b9
+	return sim.Mix64(cluster.NodeSeed(seed, node) + uint64(window+1)*0xbf58476d1ce4e5b9)
 }
 
 // episode is the outcome of one node's window simulation.
@@ -548,8 +593,76 @@ type episode struct {
 	err    error
 }
 
+// runEpisode executes node i's colocation for the window starting at
+// winStart on the given scratch. It reads node and resident state but
+// mutates nothing — safe to call from any worker or shard goroutine as long
+// as the node's fold has not happened yet.
+func (s *run) runEpisode(i int, winStart float64, scratch *colocate.Scratch) episode {
+	n := s.nodes[i]
+	names := make([]string, len(n.resident))
+	scales := make([]float64, len(n.resident))
+	for j, job := range n.resident {
+		names[j] = job.App.Name
+		scales[j] = job.remaining
+	}
+	var tel cluster.Telemetry
+	nr := cluster.NodeRun{
+		Seed:         episodeSeed(s.cfg.Seed, i, s.window),
+		Node:         n.node,
+		AppNames:     names,
+		AppWorkScale: scales,
+		LoadFraction: s.cfg.BaseLoad,
+		LoadShape:    workload.Shifted{Inner: s.cfg.Shape, BySec: winStart},
+		TimeScale:    s.cfg.TimeScale,
+		MaxDuration:  s.cfg.Epoch,
+		OnReport:     tel.Observe,
+		Scratch:      scratch,
+	}
+	if s.cfg.Energy != nil {
+		nr.EnergyModel = s.cfg.Energy
+		nr.FreqGHz = s.cfg.Energy.FreqAt(n.freq)
+	}
+	res, err := cluster.RunNode(nr)
+	return episode{apps: res.Apps, tel: tel, joules: res.Joules, span: res.Duration, err: err}
+}
+
+// foldEpisode applies node i's episode outcome: job completions and progress,
+// the node's fresh telemetry, and its busy/met counters, folding the window
+// roll-up into ws. It touches only node-i state (plus its resident jobs), so
+// the owning shard may fold concurrently with other shards.
+func (s *run) foldEpisode(i int, ep *episode, winStart float64, ws *cluster.WindowStats) {
+	n := s.nodes[i]
+	keep := n.resident[:0]
+	for j, job := range n.resident {
+		ar := ep.apps[j]
+		// Episode inaccuracy is relative to the episode's (remaining)
+		// work; weight it back to whole-job terms.
+		job.Inaccuracy += ar.Inaccuracy * job.remaining
+		if ar.Done {
+			job.Done = true
+			job.FinishSec = winStart + ar.ExecTime.Seconds()
+			job.remaining = 0
+		} else {
+			job.remaining *= 1 - ar.Progress
+			keep = append(keep, job)
+		}
+	}
+	for j := len(keep); j < len(n.resident); j++ {
+		n.resident[j] = nil
+	}
+	n.resident = keep
+	n.tel = ep.tel
+	n.busy++
+	if ep.tel.QoSMet() {
+		n.met++
+	}
+	ws.Fold(ep.tel)
+}
+
 // simulateWindow runs every occupied node's colocation for the window ending
-// at now, in parallel on the worker pool, and applies results in node order.
+// at now — in parallel on the worker pool (single-engine path) or across the
+// per-shard engines (sharded path) — and merges the outcomes back into the
+// shared cluster state in a deterministic order.
 func (s *run) simulateWindow(now sim.Time) {
 	winStart := now.Seconds() - s.cfg.Epoch.Seconds()
 	var busyIdx []int
@@ -558,77 +671,40 @@ func (s *run) simulateWindow(now sim.Time) {
 			busyIdx = append(busyIdx, i)
 		}
 	}
-	results := make([]episode, len(s.nodes))
-	runPool(s.cfg.Workers, len(busyIdx), func(worker, k int) {
-		i := busyIdx[k]
-		n := s.nodes[i]
-		names := make([]string, len(n.resident))
-		scales := make([]float64, len(n.resident))
-		for j, job := range n.resident {
-			names[j] = job.App.Name
-			scales[j] = job.remaining
-		}
-		var tel cluster.Telemetry
-		nr := cluster.NodeRun{
-			Seed:         episodeSeed(s.cfg.Seed, i, s.window),
-			Node:         n.node,
-			AppNames:     names,
-			AppWorkScale: scales,
-			LoadFraction: s.cfg.BaseLoad,
-			LoadShape:    workload.Shifted{Inner: s.cfg.Shape, BySec: winStart},
-			TimeScale:    s.cfg.TimeScale,
-			MaxDuration:  s.cfg.Epoch,
-			OnReport:     tel.Observe,
-			Scratch:      s.scratch[worker],
-		}
-		if s.cfg.Energy != nil {
-			nr.EnergyModel = s.cfg.Energy
-			nr.FreqGHz = s.cfg.Energy.FreqAt(n.freq)
-		}
-		res, err := cluster.RunNode(nr)
-		results[i] = episode{apps: res.Apps, tel: tel, joules: res.Joules, span: res.Duration, err: err}
-	})
+	if s.results == nil {
+		s.results = make([]episode, len(s.nodes))
+	}
 
-	busyNodes, metNodes := 0, 0
-	worstP99 := 0.0
-	for _, i := range busyIdx {
-		ep := results[i]
-		if ep.err != nil {
-			s.fail(fmt.Errorf("sched: node %s window %d: %w", s.nodes[i].node.Name, s.window, ep.err))
-			return
-		}
-		n := s.nodes[i]
-		keep := n.resident[:0]
-		for j, job := range n.resident {
-			ar := ep.apps[j]
-			// Episode inaccuracy is relative to the episode's (remaining)
-			// work; weight it back to whole-job terms.
-			job.Inaccuracy += ar.Inaccuracy * job.remaining
-			if ar.Done {
-				job.Done = true
-				job.FinishSec = winStart + ar.ExecTime.Seconds()
-				job.remaining = 0
-			} else {
-				job.remaining *= 1 - ar.Progress
-				keep = append(keep, job)
+	var ws cluster.WindowStats
+	if s.shards != nil {
+		// Sharded path: every shard advances its engine clock through the
+		// window concurrently, running and folding its own nodes' episodes;
+		// shard roll-ups merge in fixed shard order at the barrier.
+		ws = s.shards.advance(now, busyIdx)
+		for _, i := range busyIdx {
+			if err := s.results[i].err; err != nil {
+				s.fail(fmt.Errorf("sched: node %s window %d: %w", s.nodes[i].node.Name, s.window, err))
+				return
 			}
 		}
-		for j := len(keep); j < len(n.resident); j++ {
-			n.resident[j] = nil
+	} else {
+		// Single-engine path: episodes fan out over the worker pool, folds
+		// apply serially in node order.
+		runPool(s.cfg.Workers, len(busyIdx), func(worker, k int) {
+			i := busyIdx[k]
+			s.results[i] = s.runEpisode(i, winStart, s.scratch[worker])
+		})
+		for _, i := range busyIdx {
+			ep := &s.results[i]
+			if ep.err != nil {
+				s.fail(fmt.Errorf("sched: node %s window %d: %w", s.nodes[i].node.Name, s.window, ep.err))
+				return
+			}
+			s.foldEpisode(i, ep, winStart, &ws)
 		}
-		n.resident = keep
-		n.tel = ep.tel
-		n.busy++
-		busyNodes++
-		if ep.tel.QoSMet() {
-			n.met++
-			metNodes++
-		}
-		if ep.tel.P99OverQoS > worstP99 {
-			worstP99 = ep.tel.P99OverQoS
-		}
-		s.episodes++
 	}
+	s.episodes += ws.Busy
+
 	// A node with no residents — idle all window, or just emptied by the
 	// completions above — is its service running alone: it meets QoS by
 	// construction, so it sheds any violation telemetry rather than
@@ -639,11 +715,11 @@ func (s *run) simulateWindow(now sim.Time) {
 		}
 	}
 
-	s.accountWindow(now, results, busyIdx)
+	s.accountWindow(now, s.results, busyIdx)
 
-	if busyNodes > 0 {
-		s.trace.Series("qosmet").Append(now.Seconds(), float64(metNodes)/float64(busyNodes))
-		s.trace.Series("p99.worst").Append(now.Seconds(), worstP99)
+	if ws.Busy > 0 {
+		s.trace.Series("qosmet").Append(now.Seconds(), float64(ws.Met)/float64(ws.Busy))
+		s.trace.Series("p99.worst").Append(now.Seconds(), ws.WorstP99)
 	}
 }
 

@@ -1,0 +1,150 @@
+// Sharded multi-engine runtime: the scaling path for 100+-node clusters.
+//
+// The single-engine scheduler advances one cluster-horizon clock and fans
+// node episodes out to a per-window worker pool; everything between episodes
+// — completion folds, telemetry roll-ups — is serial. Sharded runs instead
+// partition the nodes round-robin into S shards, each owning a sim.Engine
+// clock (allocated as a sim.EngineGroup) and a colocate.Scratch, driven by a
+// persistent goroutine. Every scheduling window, all shard clocks advance
+// from the window start to its boundary concurrently: a shard schedules one
+// typed event per owned busy node at the window-start instant and runs its
+// engine to the boundary, so episodes within a shard execute in ascending
+// node order off the engine's FIFO tiebreak, and each fold touches only
+// shard-owned node and job state.
+//
+// At the window boundary the coordinator imposes a deterministic barrier:
+// per-shard telemetry roll-ups merge in fixed shard order (order-insensitive
+// by construction, see cluster.WindowStats), and the energy ledger,
+// lifecycle machine, autoscaler verdicts, and pending-job placement all run
+// serially over the merged snapshot in global node order — the same order
+// the single-engine path uses. Sharding therefore changes where episode work
+// executes, never what is computed: results are byte-identical for any shard
+// count, which the golden tests pin.
+package sched
+
+import (
+	"sync"
+
+	"github.com/approx-sched/pliant/internal/cluster"
+	"github.com/approx-sched/pliant/internal/colocate"
+	"github.com/approx-sched/pliant/internal/sim"
+)
+
+// shardGroup coordinates the per-shard engine runtimes of one run.
+type shardGroup struct {
+	s      *run
+	shards []*shardRT
+	wg     sync.WaitGroup
+}
+
+// shardRT is one shard: a partition of the cluster's nodes advancing on its
+// own engine clock, on its own goroutine.
+type shardRT struct {
+	g       *shardGroup
+	id      int
+	eng     *sim.Engine
+	scratch *colocate.Scratch
+
+	// Per-window request and outputs. winStart and busy are set by the
+	// coordinator before the window broadcast; ws accumulates the shard's
+	// fold roll-up and is read by the coordinator after the barrier.
+	winStart float64
+	busy     []int
+	ws       cluster.WindowStats
+
+	req chan sim.Time // window-boundary instants; closed on shutdown
+}
+
+// newShardGroup partitions the run's nodes into shards (node i belongs to
+// shard i mod shards) and starts one goroutine per shard.
+func newShardGroup(s *run, shards int) *shardGroup {
+	g := &shardGroup{s: s}
+	engines := sim.NewEngineGroup(shards)
+	for i := 0; i < shards; i++ {
+		sh := &shardRT{
+			g:       g,
+			id:      i,
+			eng:     engines.Engine(i),
+			scratch: &colocate.Scratch{},
+			req:     make(chan sim.Time),
+		}
+		g.shards = append(g.shards, sh)
+		go sh.loop()
+	}
+	return g
+}
+
+// close shuts the shard goroutines down. The group must not be advanced
+// afterwards.
+func (g *shardGroup) close() {
+	for _, sh := range g.shards {
+		close(sh.req)
+	}
+}
+
+// advance runs the window ending at now on every shard concurrently and
+// merges the per-shard roll-ups in fixed shard order. busyIdx lists the
+// occupied nodes in ascending global order; episode outcomes land in the
+// run's results slice (disjoint per-node slots), and per-node folds happen
+// inside the owning shard. Callers must scan results for episode errors
+// after the merge.
+func (g *shardGroup) advance(now sim.Time, busyIdx []int) cluster.WindowStats {
+	winStart := now.Seconds() - g.s.cfg.Epoch.Seconds()
+	for _, sh := range g.shards {
+		sh.winStart = winStart
+		sh.busy = sh.busy[:0]
+	}
+	for _, i := range busyIdx {
+		sh := g.shards[i%len(g.shards)]
+		sh.busy = append(sh.busy, i)
+	}
+	g.wg.Add(len(g.shards))
+	for _, sh := range g.shards {
+		sh.req <- now
+	}
+	g.wg.Wait()
+
+	var ws cluster.WindowStats
+	for _, sh := range g.shards {
+		ws.Merge(sh.ws)
+	}
+	return ws
+}
+
+// loop is the shard goroutine: one window advance per request.
+func (sh *shardRT) loop() {
+	for now := range sh.req {
+		sh.window(now)
+		sh.g.wg.Done()
+	}
+}
+
+// window advances the shard's engine clock through one scheduling window:
+// every owned busy node's episode is scheduled at the window-start instant
+// and the engine runs to the boundary, leaving the shard clock aligned with
+// the cluster horizon. Today this is equivalent to a plain ascending loop
+// over sh.busy (every event carries the same timestamp, and the typed-event
+// path allocates nothing in steady state); the engine is kept as the
+// shard's dispatcher because the ROADMAP's multi-window pipelining
+// follow-on runs shard clocks ahead of the barrier, which needs real
+// per-shard time.
+func (sh *shardRT) window(now sim.Time) {
+	sh.ws = cluster.WindowStats{}
+	start := now.Add(-sh.g.s.cfg.Epoch)
+	for _, i := range sh.busy {
+		sh.eng.ScheduleTyped(start, sh, uint64(i))
+	}
+	sh.eng.Run(now)
+}
+
+// OnEvent implements sim.EventHandler: one owned node's episode, run and
+// folded shard-locally. Episode errors are left in the results slot for the
+// coordinator's in-node-order scan.
+func (sh *shardRT) OnEvent(_ sim.Time, arg uint64) {
+	i := int(arg)
+	s := sh.g.s
+	s.results[i] = s.runEpisode(i, sh.winStart, sh.scratch)
+	if ep := &s.results[i]; ep.err == nil {
+		s.foldEpisode(i, ep, sh.winStart, &sh.ws)
+	}
+}

@@ -1,0 +1,102 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/approx-sched/pliant/internal/sim"
+)
+
+// TestShardInvariance is the sharded runtime's core contract: any shard
+// count produces results deeply equal to the single-engine path — every job
+// outcome, every trace point.
+func TestShardInvariance(t *testing.T) {
+	base := fastConfig(TelemetryAware{})
+	single, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 3, 8 /* clamped to the 3 nodes */} {
+		cfg := base
+		cfg.Shards = shards
+		sharded, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !reflect.DeepEqual(single, sharded) {
+			t.Fatalf("shards=%d diverged from the single-engine path", shards)
+		}
+	}
+}
+
+// TestShardInvarianceWithEnergy covers the merge barrier's full surface:
+// lifecycle transitions, autoscaler verdicts, frequency states, and the
+// per-node energy ledger must all be bit-identical across shard counts.
+func TestShardInvarianceWithEnergy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full energy runs; skipped in -short")
+	}
+	base := energyConfig(7, TelemetryAware{}, approxForWatts())
+	single, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 5} {
+		cfg := base
+		cfg.Shards = shards
+		sharded, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !reflect.DeepEqual(single, sharded) {
+			t.Fatalf("shards=%d perturbed the energy-managed run", shards)
+		}
+	}
+}
+
+// TestShardConfigEdges pins the defaulting rules: negative counts run
+// single-engine, counts above the node count clamp, and a two-shard run on a
+// one-node cluster degenerates cleanly.
+func TestShardConfigEdges(t *testing.T) {
+	cfg := fastConfig(FirstFit{})
+	cfg.Horizon = 20 * sim.Second
+	cfg.Shards = -3
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("negative shards: %v", err)
+	}
+	cfg = fastConfig(FirstFit{})
+	cfg.Horizon = 20 * sim.Second
+	cfg.Nodes = cfg.Nodes[:1]
+	cfg.Shards = 4
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("shards above node count: %v", err)
+	}
+	if got := (Config{Shards: 9, Nodes: testCluster()}).withDefaults().Shards; got != 3 {
+		t.Fatalf("shards clamped to %d, want 3", got)
+	}
+	if got := (Config{Nodes: testCluster()}).withDefaults().Shards; got != 1 {
+		t.Fatalf("default shards %d, want 1", got)
+	}
+}
+
+// TestShardErrorReporting keeps error behavior aligned with the single-engine
+// path: a policy that overfills a node fails the run identically whether or
+// not episodes were sharded.
+func TestShardErrorReporting(t *testing.T) {
+	bad := fastConfig(overfillPolicy{})
+	_, errSingle := Run(bad)
+	bad.Shards = 3
+	_, errSharded := Run(bad)
+	if errSingle == nil || errSharded == nil {
+		t.Fatalf("overfilling policy accepted: single=%v sharded=%v", errSingle, errSharded)
+	}
+	if errSingle.Error() != errSharded.Error() {
+		t.Fatalf("error diverged:\nsingle:  %v\nsharded: %v", errSingle, errSharded)
+	}
+}
+
+// overfillPolicy always picks node 0, ignoring capacity.
+type overfillPolicy struct{}
+
+func (overfillPolicy) Name() string               { return "overfill" }
+func (overfillPolicy) Place(Job, []NodeState) int { return 0 }

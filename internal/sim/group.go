@@ -1,0 +1,41 @@
+package sim
+
+// EngineGroup owns one Engine per shard (or worker) of a parallel run. Each
+// member is an independent clock: the sharded scheduler (internal/sched)
+// gives every node-shard its own engine so shards advance one scheduling
+// window concurrently. The group itself does no synchronization — each
+// engine must still be driven by exactly one goroutine at a time; the
+// group only allocates, hands out, and (via ResetAll) collectively resets
+// the arenas for harnesses that reuse one group across back-to-back runs.
+type EngineGroup struct {
+	engines []*Engine
+}
+
+// NewEngineGroup returns a group of n fresh engines (n < 1 is treated as 1).
+func NewEngineGroup(n int) *EngineGroup {
+	if n < 1 {
+		n = 1
+	}
+	g := &EngineGroup{engines: make([]*Engine, n)}
+	for i := range g.engines {
+		g.engines[i] = NewEngine()
+	}
+	return g
+}
+
+// Size returns the number of engines in the group.
+func (g *EngineGroup) Size() int { return len(g.engines) }
+
+// Engine returns member i.
+func (g *EngineGroup) Engine(i int) *Engine { return g.engines[i] }
+
+// ResetAll returns every member to t=0 with an empty queue, keeping their
+// heap and slot arenas for reuse. Like Engine.Reset, this preserves
+// determinism: a reset group behaves identically to a fresh one, so a run
+// harness can reuse one group across back-to-back runs without perturbing
+// results.
+func (g *EngineGroup) ResetAll() {
+	for _, e := range g.engines {
+		e.Reset()
+	}
+}

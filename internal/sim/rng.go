@@ -32,6 +32,16 @@ func (r *RNG) Split(label uint64) *RNG {
 	return NewRNG(r.Uint64() ^ (label * 0xd1342543de82ef95))
 }
 
+// Mix64 is the splitmix64 finalizer: a bijective avalanche over one word.
+// Use it to derive component seeds from small structured inputs (node index,
+// window number) where a bare XOR of multiplied counters can collide across
+// input pairs and correlate the derived streams.
+func Mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // Uint64 returns the next 64 uniformly random bits.
 func (r *RNG) Uint64() uint64 {
 	s := &r.s

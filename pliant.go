@@ -319,6 +319,10 @@ const (
 	NodeWaking   = autoscale.Waking
 )
 
+// NoReserveSlots requests an explicit zero-slot reserve from
+// ConsolidateAutoscaler, whose zero value defaults to a two-slot headroom.
+const NoReserveSlots = autoscale.NoReserve
+
 // EnergyModelFor derives a power model from a server spec: peak draw
 // calibrated to the Table 1 part's TDP, a ~45%-of-peak idle floor, and a
 // three-state frequency ladder at 60/80/100% of base frequency.
