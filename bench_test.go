@@ -7,6 +7,8 @@
 package pliant_test
 
 import (
+	"bytes"
+	"math"
 	"runtime"
 	"testing"
 
@@ -357,6 +359,79 @@ func BenchmarkSchedShardedDiurnal(b *testing.B) {
 		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
 		run(b, cfg)
 	})
+}
+
+// traceReplayBenchConfig mirrors the "trace" experiment's telemetry bundle:
+// a synthesized multi-hour Google-format trace parsed through the production
+// ingestion path, compressed into the two-minute day, and replayed over the
+// five-node cluster while services ride the trace's damped rate curve. It
+// also returns the raw row count and replayed job count — the trajectory
+// metadata pliant-bench -verify requires on trace records.
+func traceReplayBenchConfig() (cfg pliant.SchedConfig, rows, jobs int, err error) {
+	raw := pliant.SynthesizeTrace(pliant.TraceSynthConfig{
+		Format:  pliant.GoogleTraceFormat,
+		Jobs:    240,
+		SpanSec: 6 * 3600,
+		Seed:    42,
+	})
+	parsed, err := pliant.ParseTrace(bytes.NewReader(raw), pliant.GoogleTraceFormat)
+	if err != nil {
+		return cfg, 0, 0, err
+	}
+	tr, err := parsed.Normalize(pliant.TraceOptions{TargetSpanSec: 108, MaxJobs: 24})
+	if err != nil {
+		return cfg, 0, 0, err
+	}
+	times, mult, err := tr.RateShape(8)
+	if err != nil {
+		return cfg, 0, 0, err
+	}
+	for i, m := range mult {
+		mult[i] = math.Sqrt(m)
+	}
+	shape, err := pliant.NewReplayLoad(times, mult)
+	if err != nil {
+		return cfg, 0, 0, err
+	}
+	cfg = pliant.SchedConfig{
+		Seed: 42,
+		Nodes: []pliant.ClusterNode{
+			{Name: "cache-1", Service: pliant.Memcached, MaxApps: 3},
+			{Name: "web-1", Service: pliant.NGINX, MaxApps: 3},
+			{Name: "db-1", Service: pliant.MongoDB, MaxApps: 3},
+			{Name: "cache-2", Service: pliant.Memcached, MaxApps: 3},
+			{Name: "web-2", Service: pliant.NGINX, MaxApps: 3},
+		},
+		Policy:    pliant.TelemetryAwarePlacement{},
+		Horizon:   120 * pliant.Second,
+		Epoch:     10 * pliant.Second,
+		Trace:     tr,
+		BaseLoad:  0.65,
+		Shape:     shape,
+		TimeScale: 16,
+	}
+	return cfg, tr.Rows, len(tr.Jobs), nil
+}
+
+// BenchmarkSchedTraceReplay measures one replayed production-shaped day —
+// the trace-ingestion pipeline plus the scheduler consuming its stream —
+// reporting the trace's row/job scale alongside QoS.
+func BenchmarkSchedTraceReplay(b *testing.B) {
+	cfg, rows, jobs, err := traceReplayBenchConfig()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var met float64
+	for i := 0; i < b.N; i++ {
+		res, err := pliant.RunSched(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		met += res.QoSMetFrac
+	}
+	b.ReportMetric(met/float64(b.N), "QoSMetFrac")
+	b.ReportMetric(float64(rows), "rows")
+	b.ReportMetric(float64(jobs), "jobs")
 }
 
 // BenchmarkSchedWorkers quantifies the node-simulation worker pool: the same

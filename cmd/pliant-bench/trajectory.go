@@ -1,8 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -131,6 +133,56 @@ func schedBenchConfig(policy pliant.SchedPolicy) pliant.SchedConfig {
 	}
 }
 
+// traceReplayBenchConfig mirrors BenchmarkSchedTraceReplay in bench_test.go:
+// a synthesized Google-format trace compressed into the two-minute day and
+// replayed over the five-node cluster with telemetry-aware placement. Also
+// returns the raw row count and replayed job count for the record metadata.
+func traceReplayBenchConfig() (cfg pliant.SchedConfig, rows, jobs int, err error) {
+	raw := pliant.SynthesizeTrace(pliant.TraceSynthConfig{
+		Format:  pliant.GoogleTraceFormat,
+		Jobs:    240,
+		SpanSec: 6 * 3600,
+		Seed:    42,
+	})
+	parsed, err := pliant.ParseTrace(bytes.NewReader(raw), pliant.GoogleTraceFormat)
+	if err != nil {
+		return cfg, 0, 0, err
+	}
+	tr, err := parsed.Normalize(pliant.TraceOptions{TargetSpanSec: 108, MaxJobs: 24})
+	if err != nil {
+		return cfg, 0, 0, err
+	}
+	times, mult, err := tr.RateShape(8)
+	if err != nil {
+		return cfg, 0, 0, err
+	}
+	for i, m := range mult {
+		mult[i] = math.Sqrt(m)
+	}
+	shape, err := pliant.NewReplayLoad(times, mult)
+	if err != nil {
+		return cfg, 0, 0, err
+	}
+	cfg = pliant.SchedConfig{
+		Seed: 42,
+		Nodes: []pliant.ClusterNode{
+			{Name: "cache-1", Service: pliant.Memcached, MaxApps: 3},
+			{Name: "web-1", Service: pliant.NGINX, MaxApps: 3},
+			{Name: "db-1", Service: pliant.MongoDB, MaxApps: 3},
+			{Name: "cache-2", Service: pliant.Memcached, MaxApps: 3},
+			{Name: "web-2", Service: pliant.NGINX, MaxApps: 3},
+		},
+		Policy:    pliant.TelemetryAwarePlacement{},
+		Horizon:   120 * pliant.Second,
+		Epoch:     10 * pliant.Second,
+		Trace:     tr,
+		BaseLoad:  0.65,
+		Shape:     shape,
+		TimeScale: 16,
+	}
+	return cfg, tr.Rows, len(tr.Jobs), nil
+}
+
 // runTrajectory executes the perf-trajectory suite with testing.Benchmark
 // and writes BENCH_<label>.json into the current directory.
 func runTrajectory(label string) error {
@@ -203,6 +255,33 @@ func runTrajectory(label string) error {
 			b.ReportMetric(met/float64(b.N), "QoSMetFrac")
 		})))
 	}
+
+	// One replayed production-shaped day: the trace-ingestion pipeline plus
+	// the scheduler consuming its stream. The record carries the trace's
+	// row/job scale, so every trajectory point states what it replayed —
+	// the -verify gate rejects trace records without it.
+	traceCfg, traceRows, traceJobs, err := traceReplayBenchConfig()
+	if err != nil {
+		return err
+	}
+	traceRec := record("SchedTraceReplay", testing.Benchmark(func(b *testing.B) {
+		var met float64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := pliant.RunSched(traceCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			met += res.QoSMetFrac
+		}
+		b.ReportMetric(met/float64(b.N), "QoSMetFrac")
+	}))
+	if traceRec.Metrics == nil {
+		traceRec.Metrics = map[string]float64{}
+	}
+	traceRec.Metrics["rows"] = float64(traceRows)
+	traceRec.Metrics["jobs"] = float64(traceJobs)
+	t.Benchmarks = append(t.Benchmarks, traceRec)
 
 	// The sharded multi-engine runtime on a 128-node diurnal day, against
 	// the single-engine path on the same scenario. The sharded record
@@ -298,6 +377,17 @@ func verifyTrajectories(dir string) error {
 			// meaningless without the shard count and the cores it ran on.
 			if strings.HasPrefix(b.Name, "SchedShardedDiurnal/sharded") {
 				for _, key := range []string{"shards", "cores", "speedup"} {
+					if b.Metrics[key] <= 0 {
+						return fmt.Errorf("%s: %s missing %s metadata alongside ns/op", p, b.Name, key)
+					}
+				}
+			}
+			// Trace-replay records (BENCH_PR5.json onward) must state the
+			// scale of the trace they replayed: a wall-clock figure is
+			// meaningless without the row count parsed and the job count
+			// scheduled.
+			if strings.HasPrefix(b.Name, "SchedTraceReplay") {
+				for _, key := range []string{"rows", "jobs"} {
 					if b.Metrics[key] <= 0 {
 						return fmt.Errorf("%s: %s missing %s metadata alongside ns/op", p, b.Name, key)
 					}

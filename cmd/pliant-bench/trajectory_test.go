@@ -70,3 +70,30 @@ func TestVerifyRequiresShardedSpeedupMetadata(t *testing.T) {
 		t.Errorf("complete sharded record rejected: %v", err)
 	}
 }
+
+// TestVerifyRequiresTraceReplayMetadata pins the PR5 gate: a trace-replay
+// trajectory record must state the scale of the trace it replayed (raw rows
+// parsed, jobs scheduled) alongside ns/op.
+func TestVerifyRequiresTraceReplayMetadata(t *testing.T) {
+	dir := t.TempDir()
+	write := func(metrics string) {
+		t.Helper()
+		doc := `{"label":"PR5","benchmarks":[{"name":"SchedTraceReplay",` +
+			`"iterations":1,"ns_per_op":5.0e9` + metrics + `}]}`
+		if err := os.WriteFile(filepath.Join(dir, "BENCH_PR5.json"), []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("")
+	if err := verifyTrajectories(dir); err == nil {
+		t.Error("trace record without rows/jobs metadata verified")
+	}
+	write(`,"metrics":{"rows":468}`)
+	if err := verifyTrajectories(dir); err == nil {
+		t.Error("trace record without a jobs figure verified")
+	}
+	write(`,"metrics":{"rows":468,"jobs":24}`)
+	if err := verifyTrajectories(dir); err != nil {
+		t.Errorf("complete trace record rejected: %v", err)
+	}
+}

@@ -10,6 +10,8 @@
 //	pliant-sched -shape flash -peak 1.6 -timescale 16 -csv trace.csv
 //	pliant-sched -energy -autoscale approx-for-watts -policy telemetry
 //	pliant-sched -shards 8 -policy telemetry   # sharded multi-engine run
+//	pliant-sched -trace tasks.csv -trace-format google -trace-scale 180
+//	pliant-sched -trace vms.csv -trace-format azure -trace-jobs 48 -shape trace
 package main
 
 import (
@@ -31,7 +33,7 @@ func main() {
 		epoch   = flag.Float64("epoch", 12, "scheduling window in seconds")
 		rate    = flag.Float64("rate", 0, "job arrivals per second (0 = sized to capacity)")
 		load    = flag.Float64("load", 0.65, "base offered load on every node's service")
-		shape   = flag.String("shape", "diurnal", "load shape: steady, diurnal, flash")
+		shape   = flag.String("shape", "diurnal", "load shape: steady, diurnal, flash, trace (ride the -trace rate curve)")
 		amp     = flag.Float64("amp", 0.25, "diurnal amplitude around 1")
 		period  = flag.Float64("period", 0, "diurnal period in seconds (0 = one day across the horizon)")
 		peak    = flag.Float64("peak", 1.6, "flash-crowd peak multiplier")
@@ -40,7 +42,14 @@ func main() {
 		workers = flag.Int("workers", 0, "node-simulation worker pool size (0 = GOMAXPROCS; single-engine path only)")
 		shards  = flag.Int("shards", 1,
 			"per-worker engine groups advancing windows in parallel (results are byte-identical for any value)")
-		jobsFlag   = flag.String("jobs", "", "comma-separated catalog apps to cycle jobs through (default: shuffled catalog)")
+		traceFile = flag.String("trace", "",
+			"replay a production cluster trace as the job stream (see -trace-format)")
+		traceFormat = flag.String("trace-format", "google", "trace schema: google (ClusterData task events), azure (VM rows)")
+		traceScale  = flag.Float64("trace-scale", 0,
+			"compress the trace's time axis this many times (0 = rescale so the last arrival lands at 90% of the horizon)")
+		traceJobs = flag.Int("trace-jobs", 0,
+			"deterministically down-sample the trace to at most this many jobs (0 = twice the cluster's slots)")
+		jobsFlag   = flag.String("jobs", "", "comma-separated catalog apps to cycle jobs through (default: shuffled catalog; with -trace, the candidate set)")
 		jsonOut    = flag.String("json", "", "write the result as JSON to a file ('-' for stdout)")
 		csvOut     = flag.String("csv", "", "write the cluster-horizon trace as CSV to a file ('-' for stdout)")
 		useEnergy  = flag.Bool("energy", false, "attach the Table 1 power model: joules accounting + energy columns")
@@ -53,7 +62,22 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	ls, err := parseShape(*shape, *amp, *period, *peak, *horizon)
+
+	var tr *pliant.ClusterTrace
+	if *traceFile != "" {
+		slots := 0
+		for _, n := range nodes {
+			slots += n.MaxApps
+		}
+		tr, err = loadTrace(*traceFile, *traceFormat, *traceScale, *traceJobs, *horizon, slots)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace: %d %s jobs over %.0fs (from %d rows, %d dropped, %d duration-defaulted)\n\n",
+			len(tr.Jobs), tr.Source, tr.SpanSec(), tr.Rows, tr.Dropped, tr.Defaulted)
+	}
+
+	ls, err := parseShape(*shape, *amp, *period, *peak, *horizon, tr)
 	if err != nil {
 		fail(err)
 	}
@@ -72,6 +96,10 @@ func main() {
 	}
 	if *jobsFlag != "" {
 		cfg.JobNames = strings.Split(*jobsFlag, ",")
+	}
+	if tr != nil {
+		cfg.Trace = tr
+		cfg.JobsPerSec = 0
 	}
 	if *useEnergy || *autoscaler != "none" {
 		model := pliant.EnergyModelFor(pliant.TablePlatform())
@@ -139,7 +167,7 @@ func parseNodes(spec string, maxApps int) ([]pliant.ClusterNode, error) {
 	return nodes, nil
 }
 
-func parseShape(kind string, amp, period, peak, horizonSec float64) (pliant.LoadShape, error) {
+func parseShape(kind string, amp, period, peak, horizonSec float64, tr *pliant.ClusterTrace) (pliant.LoadShape, error) {
 	switch kind {
 	case "steady":
 		return pliant.SteadyLoad{}, nil
@@ -150,9 +178,46 @@ func parseShape(kind string, amp, period, peak, horizonSec float64) (pliant.Load
 		return pliant.NewDiurnalLoad(amp, period)
 	case "flash":
 		return pliant.NewFlashLoad(1, peak, horizonSec/3, horizonSec/6)
+	case "trace":
+		// The services ride the replayed trace's own rate curve.
+		if tr == nil {
+			return nil, fmt.Errorf("-shape trace needs -trace")
+		}
+		times, mult, err := tr.RateShape(12)
+		if err != nil {
+			return nil, err
+		}
+		return pliant.NewReplayLoad(times, mult)
 	default:
-		return nil, fmt.Errorf("unknown shape %q (steady, diurnal, flash)", kind)
+		return nil, fmt.Errorf("unknown shape %q (steady, diurnal, flash, trace)", kind)
 	}
+}
+
+// loadTrace parses and normalizes a trace file for replay over the horizon.
+func loadTrace(path, format string, scale float64, maxJobs int, horizonSec float64, slots int) (*pliant.ClusterTrace, error) {
+	f, err := pliant.TraceFormatByName(format)
+	if err != nil {
+		return nil, err
+	}
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	tr, err := pliant.ParseTrace(file, f)
+	if err != nil {
+		return nil, err
+	}
+	opts := pliant.TraceOptions{RateScale: scale}
+	if scale == 0 {
+		opts.TargetSpanSec = 0.9 * horizonSec
+	}
+	if maxJobs > 0 {
+		opts.MaxJobs = maxJobs
+	} else {
+		opts.MaxJobs = 2 * slots
+	}
+	return tr.Normalize(opts)
 }
 
 func parsePolicies(name string) ([]pliant.SchedPolicy, error) {

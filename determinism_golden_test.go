@@ -58,6 +58,15 @@ const (
 	// test replays the run at shards=2 and shards=4 against the same pins.
 	goldenShardJSON = "332c30a198c6cc23f1e1d4c351a114cc502b1229d7e535d9dc32caa2d6c78f13"
 	goldenShardCSV  = "e3b87b3f1cfd2722179806f89cb49e4a465658307c8f4c4caf049cfa634f225a"
+
+	// goldenTrace pins the trace-ingestion pipeline end to end (PR 5): a
+	// schema-exact Google-format trace synthesized in memory, parsed through
+	// the streaming ingester, normalized (rebase, compress, down-sample),
+	// and replayed through the six-node energy-managed scheduler. The
+	// constants are recorded from the single-engine path; the test replays
+	// the identical run at shards=2 and shards=4 against the same pins.
+	goldenTraceJSON = "fe80b0d5b33952ad5ee2d1e3ce46118a14f284c817586e2891c4109f991feb2c"
+	goldenTraceCSV  = "e3c4845810be8268abc53c4855a9239ca8c47cf653c1765fe15407ba54612945"
 )
 
 func goldenScenarioConfig() pliant.ScenarioConfig {
@@ -231,6 +240,77 @@ func TestGoldenShardInvariance(t *testing.T) {
 		}
 		if !bytes.Equal(csv, csv1) {
 			t.Errorf("shards=%d CSV differs from single-engine bytes", shards)
+		}
+	}
+}
+
+// goldenTraceConfig is the trace-replay golden scenario: the shard golden's
+// six-node energy-managed cluster, with the job stream replaced by a
+// replayed synthetic Google-format trace (heavy-tailed gaps, flash burst)
+// compressed to fit the 60-second horizon.
+func goldenTraceConfig(t *testing.T, shards int) pliant.SchedConfig {
+	t.Helper()
+	raw := pliant.SynthesizeTrace(pliant.TraceSynthConfig{
+		Format:  pliant.GoogleTraceFormat,
+		Jobs:    120,
+		SpanSec: 3600,
+		Seed:    9,
+	})
+	parsed, err := pliant.ParseTrace(bytes.NewReader(raw), pliant.GoogleTraceFormat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := parsed.Normalize(pliant.TraceOptions{TargetSpanSec: 50, MaxJobs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := goldenShardConfig(shards)
+	cfg.JobsPerSec = 0
+	cfg.Trace = tr
+	return cfg
+}
+
+// TestGoldenTraceReplay is the trace pipeline's determinism contract:
+// synthesize → parse → normalize → replay must export byte-identical JSON
+// and CSV across shard counts 1, 2, and 4, pinned by hash so a divergence
+// anywhere in the chain — fixture bytes, parser, normalization arithmetic,
+// stream replay, shard merge — fails loudly. Runs in -short (and under the
+// CI race job via an explicit step).
+func TestGoldenTraceReplay(t *testing.T) {
+	export := func(shards int) (js, csv []byte) {
+		t.Helper()
+		res, err := pliant.RunSched(goldenTraceConfig(t, shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j, c bytes.Buffer
+		if err := pliant.WriteSchedResultJSON(&j, res); err != nil {
+			t.Fatal(err)
+		}
+		if err := pliant.WriteSchedTraceCSV(&c, res); err != nil {
+			t.Fatal(err)
+		}
+		return j.Bytes(), c.Bytes()
+	}
+	js1, csv1 := export(1)
+	if os.Getenv("PLIANT_GOLDEN") == "print" {
+		t.Logf("goldenTraceJSON = %q", sha(js1))
+		t.Logf("goldenTraceCSV  = %q", sha(csv1))
+		return
+	}
+	if got := sha(js1); got != goldenTraceJSON {
+		t.Errorf("trace-replay JSON hash = %s, golden %s", got, goldenTraceJSON)
+	}
+	if got := sha(csv1); got != goldenTraceCSV {
+		t.Errorf("trace-replay CSV hash = %s, golden %s", got, goldenTraceCSV)
+	}
+	for _, shards := range []int{2, 4} {
+		js, csv := export(shards)
+		if !bytes.Equal(js, js1) {
+			t.Errorf("shards=%d trace-replay JSON differs from single-engine bytes", shards)
+		}
+		if !bytes.Equal(csv, csv1) {
+			t.Errorf("shards=%d trace-replay CSV differs from single-engine bytes", shards)
 		}
 	}
 }

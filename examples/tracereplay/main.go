@@ -1,0 +1,107 @@
+// Trace replay: judge placement policies on production-shaped arrivals
+// instead of synthetic streams. A Google ClusterData-style task-event trace
+// is synthesized schema-exactly (the same CSV columns a real export carries),
+// parsed through the streaming ingestion path, normalized — multi-hour span
+// compressed into a two-minute simulated day, deterministically down-sampled
+// to the cluster's scale — and replayed: every trace job arrives at its
+// recorded instant, mapped onto a catalog application by its resource shape,
+// while each node's interactive service rides the trace's own binned rate
+// curve. Heavy-tailed gaps, a flash burst, and correlated arrivals are
+// exactly the regime where telemetry-fed placement separates from first-fit.
+//
+//	go run ./examples/tracereplay
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math"
+
+	pliant "github.com/approx-sched/pliant"
+)
+
+func main() {
+	// Synthesize a six-hour, 160-job trace. With a real export on disk this
+	// block is just os.Open + pliant.ParseTrace — the bytes here follow the
+	// same schema.
+	raw := pliant.SynthesizeTrace(pliant.TraceSynthConfig{
+		Format:  pliant.GoogleTraceFormat,
+		Jobs:    160,
+		SpanSec: 6 * 3600,
+		Seed:    7,
+	})
+	parsed, err := pliant.ParseTrace(bytes.NewReader(raw), pliant.GoogleTraceFormat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parsed %d jobs from %d rows (%d durations defaulted), span %.0fs, mean rate %.3f jobs/s\n",
+		len(parsed.Jobs), parsed.Rows, parsed.Defaulted, parsed.SpanSec(), parsed.MeanRate())
+
+	// Normalize: compress the six hours into 108 simulated seconds and keep
+	// a deterministic 18-job sample that preserves the temporal shape.
+	tr, err := parsed.Normalize(pliant.TraceOptions{TargetSpanSec: 108, MaxJobs: 18})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The services ride the trace's own rate curve: the arrival burst is
+	// also the load burst, as in production colocation. Square-root damping
+	// keeps the burst shape while leaving the services survivable — a 4×
+	// arrival spike becomes a 2× load spike.
+	times, mult, err := tr.RateShape(10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, m := range mult {
+		mult[i] = math.Sqrt(m)
+	}
+	shape, err := pliant.NewReplayLoad(times, mult)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := pliant.SchedConfig{
+		Seed: 42,
+		Nodes: []pliant.ClusterNode{
+			{Name: "cache-1", Service: pliant.Memcached, MaxApps: 3},
+			{Name: "web-1", Service: pliant.NGINX, MaxApps: 3},
+			{Name: "db-1", Service: pliant.MongoDB, MaxApps: 3},
+			{Name: "cache-2", Service: pliant.Memcached, MaxApps: 3},
+		},
+		Horizon:   120 * pliant.Second,
+		Epoch:     10 * pliant.Second,
+		Trace:     tr,
+		BaseLoad:  0.65,
+		Shape:     shape,
+		TimeScale: 16,
+	}
+
+	results, err := pliant.CompareSchedPolicies(cfg,
+		pliant.FirstFitPlacement{},
+		pliant.TelemetryAwarePlacement{},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(pliant.RenderSchedComparison(results))
+
+	// Where each replayed job landed.
+	ta := results[len(results)-1]
+	fmt.Println("\nreplayed arrivals under telemetry-aware placement:")
+	fmt.Println("  arrival   app              node      wait    done")
+	for _, j := range ta.Jobs {
+		node := j.Node
+		if node == "" {
+			node = "(queued)"
+		}
+		fmt.Printf("  %6.1fs   %-14s   %-8s %5.1fs   %v\n",
+			j.ArrivalSec, j.App, node, j.WaitSec, j.Done)
+	}
+
+	fmt.Println("\nThe trace's flash burst stacks arrivals faster than any Poisson")
+	fmt.Println("stream would; first-fit piles them onto the least tolerant nodes")
+	fmt.Println("while the telemetry-aware policy spreads the burst by live QoS")
+	fmt.Println("feedback — same jobs, same instants, more windows inside QoS.")
+}

@@ -423,9 +423,56 @@ func TestEnergyDiurnal(t *testing.T) {
 	}
 }
 
+// TestTraceReplay is the trace-ingestion acceptance experiment: both
+// headline orderings must hold on replayed production-shaped arrivals —
+// telemetry-aware placement beats first-fit on QoS-met windows, and the
+// approx-for-watts bundle spends measurably less energy than first-fit
+// without dropping materially below first-fit's QoS.
+func TestTraceReplay(t *testing.T) {
+	skipIfShort(t)
+	res, err := TraceReplay(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want first-fit, telemetry-aware, approx-for-watts", len(res.Rows))
+	}
+	if res.TraceJobs == 0 || res.Source != "google" {
+		t.Fatalf("trace metadata wrong: %d jobs from %q", res.TraceJobs, res.Source)
+	}
+	for _, row := range res.Rows {
+		if row.Arrived != res.TraceJobs {
+			t.Errorf("%s: arrived %d of %d trace jobs", row.Bundle, row.Arrived, res.TraceJobs)
+		}
+		if row.Completed == 0 || row.KJoules <= 0 {
+			t.Errorf("%s: completed=%d energy=%.1fkJ", row.Bundle, row.Completed, row.KJoules)
+		}
+	}
+	ta, ff := res.RowFor("telemetry-aware"), res.RowFor("first-fit")
+	if ta.QoSMetFrac <= ff.QoSMetFrac {
+		t.Errorf("telemetry-aware QoS-met %.3f not above first-fit %.3f on replayed arrivals",
+			ta.QoSMetFrac, ff.QoSMetFrac)
+	}
+	afw := res.RowFor("approx-for-watts")
+	if afw.KJoules >= ff.KJoules {
+		t.Errorf("approx-for-watts energy %.1fkJ not below first-fit %.1fkJ", afw.KJoules, ff.KJoules)
+	}
+	// Approx-for-watts trades a few QoS points for watts at some seeds;
+	// "not materially below first-fit" is the stable property.
+	if afw.QoSMetFrac < 0.9*ff.QoSMetFrac {
+		t.Errorf("approx-for-watts QoS-met %.3f fell materially below first-fit %.3f", afw.QoSMetFrac, ff.QoSMetFrac)
+	}
+	out := res.Render()
+	for _, want := range []string{"google", "telemetry-aware", "approx-for-watts", "summary:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRegistry(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 13 {
+	if len(reg) != 14 {
 		t.Fatalf("registry has %d entries", len(reg))
 	}
 	ids := map[string]bool{}

@@ -29,6 +29,7 @@ func Registry() []Entry {
 		{"overhead", "Sec. 6.2: instrumentation overhead", wrap(Overhead)},
 		{"sched", "Sec. 6.4 extension: online scheduling under a diurnal day", wrap(SchedDiurnal)},
 		{"energy", "Energy extension: autoscaling and approximation-for-watts over a diurnal day", wrap(EnergyDiurnal)},
+		{"trace", "Trace extension: policies replayed on production-shaped cluster-trace arrivals", wrap(TraceReplay)},
 	}
 }
 

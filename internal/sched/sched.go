@@ -31,6 +31,7 @@ import (
 	"github.com/approx-sched/pliant/internal/energy"
 	"github.com/approx-sched/pliant/internal/sim"
 	"github.com/approx-sched/pliant/internal/stats"
+	"github.com/approx-sched/pliant/internal/trace"
 	"github.com/approx-sched/pliant/internal/workload"
 )
 
@@ -123,6 +124,16 @@ type Config struct {
 	// Arrivals overrides the Poisson job stream with a custom process.
 	Arrivals workload.ArrivalProcess
 
+	// Trace replays a production cluster trace (internal/trace) as the job
+	// stream: each trace job arrives at its recorded instant (within the
+	// horizon) and maps onto a catalog application by resource shape
+	// (JobsFromTrace), so policies are judged on bursty, heavy-tailed
+	// production arrivals rather than synthetic processes. Mutually
+	// exclusive with Arrivals; overrides JobsPerSec. With a trace, JobNames
+	// narrows the candidate catalog the mapping draws from instead of being
+	// cycled directly. Works unchanged with Shards, Energy, and Autoscaler.
+	Trace *trace.Trace
+
 	// JobNames is the cycled sequence of catalog applications jobs draw
 	// from; nil uses a seed-shuffled pass over the full catalog.
 	JobNames []string
@@ -199,7 +210,7 @@ func (c Config) withDefaults() Config {
 	if n := len(c.Nodes); n > 0 && c.Shards > n {
 		c.Shards = n
 	}
-	if c.JobsPerSec == 0 && c.Arrivals == nil {
+	if c.JobsPerSec == 0 && c.Arrivals == nil && c.Trace == nil {
 		slots := 0
 		for _, n := range c.Nodes {
 			slots += n.MaxApps
@@ -224,8 +235,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sched: base load %v outside (0, 1.5]", c.BaseLoad)
 	case c.TimeScale <= 0:
 		return fmt.Errorf("sched: time scale must be positive")
-	case c.Arrivals == nil && c.JobsPerSec <= 0:
+	case c.Trace == nil && c.Arrivals == nil && c.JobsPerSec <= 0:
 		return fmt.Errorf("sched: job arrival rate must be positive")
+	case c.Trace != nil && c.Arrivals != nil:
+		return fmt.Errorf("sched: Trace and Arrivals are mutually exclusive job streams")
+	case c.Trace != nil && len(c.Trace.Jobs) == 0:
+		return fmt.Errorf("sched: trace replay with an empty trace")
 	case c.Autoscaler != nil && c.Energy == nil:
 		return fmt.Errorf("sched: autoscaler %s needs an energy model", c.Autoscaler.Name())
 	}
@@ -413,6 +428,21 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	arrivals := cfg.Arrivals
+	if cfg.Trace != nil {
+		// Trace replay: arrivals at the recorded instants (a fresh stream
+		// per run — the cursor is consumed), app names mapped from the
+		// trace's resource shapes so s.names[i] is exactly the i-th arrival.
+		ts, err := workload.NewTraceStream(cfg.Trace.ArrivalTimes())
+		if err != nil {
+			return Result{}, err
+		}
+		names, err := JobsFromTrace(cfg.Trace, cfg.JobNames)
+		if err != nil {
+			return Result{}, err
+		}
+		arrivals = ts
+		s.names = names
+	}
 	if arrivals == nil {
 		p, err := workload.NewPoisson(cfg.JobsPerSec)
 		if err != nil {

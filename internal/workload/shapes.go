@@ -79,10 +79,13 @@ func (d Diurnal) Multiplier(tSec float64) float64 {
 	return 1 + d.Amp*math.Sin(2*math.Pi*(tSec-d.PhaseSec)/d.PeriodSec)
 }
 
-// Flash is a step or flash crowd: the multiplier is Base outside the event
-// and Peak inside [StartSec, StartSec+DurationSec). A zero DurationSec makes
-// the step permanent (load settles at the new level), a finite one models a
-// transient flash crowd. Zero Base means 1.0.
+// Flash is a step or flash crowd: the multiplier is the base level outside
+// the event and Peak inside [StartSec, StartSec+DurationSec). A zero
+// DurationSec makes the step permanent (load settles at the new level), a
+// finite one models a transient flash crowd. In a zero-value literal,
+// Base == 0 resolves to the unit base via BaseLevel — the same
+// usable-zero-value convention as Steady — but NewFlash requires the base
+// spelled out, so a constructed shape never rides a hidden default.
 type Flash struct {
 	Base        float64
 	Peak        float64
@@ -90,10 +93,14 @@ type Flash struct {
 	DurationSec float64
 }
 
-// NewFlash validates and returns a flash/step shape.
+// NewFlash validates and returns a flash/step shape. The base must be
+// explicitly positive: passing 0 here used to silently mean 1.0, the same
+// unconfigurable-zero ambiguity autoscale.Consolidate's reserve had; callers
+// who want the unit base pass 1.
 func NewFlash(base, peak, startSec, durationSec float64) (Flash, error) {
-	if base < 0 || peak <= 0 {
-		return Flash{}, fmt.Errorf("workload: flash needs positive peak (got %v) and non-negative base (got %v)", peak, base)
+	if base <= 0 || peak <= 0 {
+		return Flash{}, fmt.Errorf("workload: flash needs positive peak (got %v) and positive base (got %v; pass 1 for the unit base)",
+			peak, base)
 	}
 	if startSec < 0 || durationSec < 0 {
 		return Flash{}, fmt.Errorf("workload: flash start %v / duration %v must be non-negative", startSec, durationSec)
@@ -104,17 +111,23 @@ func NewFlash(base, peak, startSec, durationSec float64) (Flash, error) {
 // Name identifies the shape.
 func (f Flash) Name() string { return "flash" }
 
+// BaseLevel resolves the outside-the-event multiplier: Base, or 1.0 for the
+// zero-value literal. This is the single place the zero value gains meaning;
+// Multiplier and any future consumer go through it.
+func (f Flash) BaseLevel() float64 {
+	if f.Base == 0 {
+		return 1
+	}
+	return f.Base
+}
+
 // Multiplier implements Shape.
 func (f Flash) Multiplier(tSec float64) float64 {
-	base := f.Base
-	if base == 0 {
-		base = 1
-	}
 	if tSec < f.StartSec {
-		return base
+		return f.BaseLevel()
 	}
 	if f.DurationSec > 0 && tSec >= f.StartSec+f.DurationSec {
-		return base
+		return f.BaseLevel()
 	}
 	return f.Peak
 }
@@ -122,19 +135,23 @@ func (f Flash) Multiplier(tSec float64) float64 {
 // Replay is a trace-replay shape: a step function through recorded
 // (time, multiplier) samples, holding each value until the next sample — the
 // same semantics as production load traces replayed at interval granularity.
+// Duplicate instants are legal (real exports revise a sample in place by
+// appending a second row at the same timestamp) and resolve last-sample-wins.
 type Replay struct {
-	TimesSec []float64 // ascending sample instants
+	TimesSec []float64 // non-decreasing sample instants
 	Mult     []float64 // multiplier in effect from the matching instant
 }
 
-// NewReplay validates and returns a replay shape.
+// NewReplay validates and returns a replay shape. Times must not decrease;
+// duplicate instants are allowed and mean the later sample revises the
+// earlier one.
 func NewReplay(timesSec, mult []float64) (Replay, error) {
 	if len(timesSec) == 0 || len(timesSec) != len(mult) {
 		return Replay{}, fmt.Errorf("workload: replay needs equal, non-empty sample slices (%d times, %d multipliers)",
 			len(timesSec), len(mult))
 	}
 	if !sort.Float64sAreSorted(timesSec) {
-		return Replay{}, fmt.Errorf("workload: replay times must ascend")
+		return Replay{}, fmt.Errorf("workload: replay times must not decrease")
 	}
 	for _, m := range mult {
 		if m <= 0 {
@@ -148,16 +165,16 @@ func NewReplay(timesSec, mult []float64) (Replay, error) {
 func (r Replay) Name() string { return "replay" }
 
 // Multiplier returns the sample in effect at t: the latest sample at or
-// before t, or the first sample before the trace starts.
+// before t, or the first sample before the trace starts. Among samples
+// sharing one instant the last wins — SearchFloat64s would land on the
+// first of the run and silently keep a revised-away value.
 func (r Replay) Multiplier(tSec float64) float64 {
 	if len(r.TimesSec) == 0 {
 		return 1
 	}
-	// First index with time > t; the sample before it is in effect.
-	i := sort.SearchFloat64s(r.TimesSec, tSec)
-	if i < len(r.TimesSec) && r.TimesSec[i] == tSec {
-		return r.Mult[i]
-	}
+	// First index with time strictly after t; the sample before it (the last
+	// one at or before t) is in effect.
+	i := sort.Search(len(r.TimesSec), func(k int) bool { return r.TimesSec[k] > tSec })
 	if i == 0 {
 		return r.Mult[0]
 	}
@@ -208,10 +225,26 @@ func NewShapedPoisson(baseQPS float64, shape Shape) (ShapedPoisson, error) {
 	return ShapedPoisson{BaseQPS: baseQPS, Shape: shape}, nil
 }
 
-// NextAt draws an exponential gap at the rate in effect now.
+// maxGapSec caps one inter-arrival gap at ~31 simulated years: beyond any
+// reachable horizon, yet finite, so a degenerate rate can never push an
+// Inf/NaN gap through DurationOf (whose float→int64 conversion would wrap an
+// astronomical gap into a *negative* duration, which the ≤0 clamp then turns
+// into a 1ns arrival storm — the exact inversion of "no arrivals").
+const maxGapSec = 1e9
+
+// NextAt draws an exponential gap at the rate in effect now. A non-positive
+// or non-finite effective rate — a zero-rate literal bypassing
+// NewShapedPoisson, or a multiplier the clamp cannot rescue — yields the
+// finite cap rather than an Inf/NaN gap.
 func (p ShapedPoisson) NextAt(rng *sim.RNG, now sim.Time) sim.Duration {
 	rate := p.BaseQPS * ClampMultiplier(p.Shape.Multiplier(now.Seconds()))
+	if !(rate > 0) { // zero, negative, or NaN
+		return sim.DurationOf(maxGapSec)
+	}
 	gap := rng.Exp(1 / rate)
+	if !(gap < maxGapSec) { // catches Inf and NaN alongside huge draws
+		gap = maxGapSec
+	}
 	d := sim.DurationOf(gap)
 	if d <= 0 {
 		d = 1

@@ -58,18 +58,28 @@ func TestFlashShape(t *testing.T) {
 	if s.Multiplier(19) != 0.8 || s.Multiplier(20) != 1.6 || s.Multiplier(1e6) != 1.6 {
 		t.Fatal("permanent step wrong")
 	}
-	// The validating constructor rejects the silent-footgun configs.
+	// The validating constructor rejects the silent-footgun configs —
+	// including the zero base, which used to slip through and silently mean
+	// 1.0 (the unconfigurable-zero class autoscale.Consolidate also had).
 	if _, err := NewFlash(1, 0, 10, 5); err == nil {
 		t.Fatal("zero peak accepted")
 	}
 	if _, err := NewFlash(-1, 2, 10, 5); err == nil {
 		t.Fatal("negative base accepted")
 	}
+	if _, err := NewFlash(0, 2, 10, 5); err == nil {
+		t.Fatal("zero base accepted by the constructor")
+	}
 	if _, err := NewFlash(1, 2, -1, 5); err == nil {
 		t.Fatal("negative start accepted")
 	}
 	if g, err := NewFlash(1, 2, 10, 5); err != nil || g.Multiplier(12) != 2 {
 		t.Fatalf("valid flash rejected: %v %v", g, err)
+	}
+	// The zero-value literal's base resolves through the one explicit
+	// place, BaseLevel.
+	if (Flash{Peak: 2}).BaseLevel() != 1 || (Flash{Base: 0.5, Peak: 2}).BaseLevel() != 0.5 {
+		t.Fatal("BaseLevel zero-value resolution wrong")
 	}
 }
 
@@ -93,6 +103,75 @@ func TestReplayShape(t *testing.T) {
 	}
 	if _, err := NewReplay(nil, nil); err == nil {
 		t.Fatal("empty trace accepted")
+	}
+}
+
+// TestReplayDuplicateInstants is the regression for the stale-sample bug:
+// a trace revising its multiplier at one instant (two samples at the same
+// time, as real exports emit) must apply the revision, not the first-written
+// value SearchFloat64s lands on. NewReplay must accept such traces.
+func TestReplayDuplicateInstants(t *testing.T) {
+	r, err := NewReplay([]float64{0, 10, 10, 10, 20}, []float64{1, 2, 3, 4, 0.5})
+	if err != nil {
+		t.Fatalf("duplicate instants rejected: %v", err)
+	}
+	for _, c := range []struct{ t, want float64 }{
+		{0, 1}, {9.9, 1},
+		{10, 4}, // last sample at the duplicated instant wins
+		{15, 4}, {19.9, 4}, {20, 0.5},
+	} {
+		if got := r.Multiplier(c.t); got != c.want {
+			t.Errorf("replay(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+// TestReplayMatchesLinearScan property-checks Multiplier against the obvious
+// reference — a linear scan for the last sample at or before t — over random
+// sorted, duplicate-bearing traces and probes on, between, before, and after
+// the samples.
+func TestReplayMatchesLinearScan(t *testing.T) {
+	naive := func(r Replay, tSec float64) float64 {
+		out := r.Mult[0]
+		for i, ts := range r.TimesSec {
+			if ts <= tSec {
+				out = r.Mult[i]
+			}
+		}
+		return out
+	}
+	rng := sim.NewRNG(99)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(20)
+		times := make([]float64, n)
+		mult := make([]float64, n)
+		tcur := 0.0
+		for i := range times {
+			if i > 0 && rng.Bernoulli(0.3) {
+				tcur = times[i-1] // duplicate instant
+			} else {
+				tcur += rng.Float64() * 10
+			}
+			times[i] = tcur
+			mult[i] = 0.1 + rng.Float64()*3
+		}
+		r, err := NewReplay(times, mult)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		probes := []float64{times[0] - 1, times[n-1] + 1}
+		for _, ts := range times {
+			probes = append(probes, ts, ts-0.01, ts+0.01)
+		}
+		for i := 0; i < 10; i++ {
+			probes = append(probes, rng.Float64()*(times[n-1]+2))
+		}
+		for _, p := range probes {
+			if got, want := r.Multiplier(p), naive(r, p); got != want {
+				t.Fatalf("trial %d: replay(%v) = %v, reference %v (times %v mult %v)",
+					trial, p, got, want, times, mult)
+			}
+		}
 	}
 }
 
@@ -176,5 +255,40 @@ func TestShapedPoissonValidation(t *testing.T) {
 	z, _ := NewShapedPoisson(10, Flash{Base: 1, Peak: 0, StartSec: 0})
 	if g := z.NextAt(rng, 0); g <= 0 {
 		t.Fatal("clamped shape produced non-positive gap")
+	}
+}
+
+// TestShapedPoissonNonPositiveRate pins the degenerate-rate guard: inside a
+// Peak: 0 flash window the clamp floors the rate, and gaps stay finite,
+// positive, and match the explicitly clamped rate's distribution; a
+// zero-rate literal that bypassed the constructor yields the finite cap —
+// never an Inf/NaN gap, and never the 1ns arrival storm an overflowed
+// DurationOf produced.
+func TestShapedPoissonNonPositiveRate(t *testing.T) {
+	flash := Flash{Base: 1, Peak: 0, StartSec: 100, DurationSec: 50}
+	p, err := NewShapedPoisson(10, flash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inWindow := sim.Time(120) * sim.Time(sim.Second)
+	explicit := ShapedPoisson{BaseQPS: 10, Shape: Steady{Level: minMultiplier}}
+	for seed := uint64(1); seed <= 5; seed++ {
+		a, b := sim.NewRNG(seed), sim.NewRNG(seed)
+		got, want := p.NextAt(a, inWindow), explicit.NextAt(b, 0)
+		if got != want {
+			t.Fatalf("seed %d: zero-peak window gap %v != clamped-rate gap %v", seed, got, want)
+		}
+		if got <= 0 || got > sim.DurationOf(maxGapSec) {
+			t.Fatalf("seed %d: gap %v outside (0, cap]", seed, got)
+		}
+	}
+	// Degenerate literals: zero, negative, and NaN base rates all emit the
+	// finite cap.
+	rng := sim.NewRNG(7)
+	for _, qps := range []float64{0, -3, math.NaN()} {
+		z := ShapedPoisson{BaseQPS: qps, Shape: Steady{}}
+		if g := z.NextAt(rng, 0); g != sim.DurationOf(maxGapSec) {
+			t.Errorf("qps %v: gap %v, want the finite cap %v", qps, g, sim.DurationOf(maxGapSec))
+		}
 	}
 }

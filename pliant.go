@@ -58,6 +58,7 @@ import (
 	"github.com/approx-sched/pliant/internal/service"
 	"github.com/approx-sched/pliant/internal/sim"
 	"github.com/approx-sched/pliant/internal/stats"
+	"github.com/approx-sched/pliant/internal/trace"
 	"github.com/approx-sched/pliant/internal/workload"
 )
 
@@ -282,6 +283,56 @@ func NewReplayLoad(timesSec, mult []float64) (ReplayLoad, error) {
 	return workload.NewReplay(timesSec, mult)
 }
 
+// Production trace ingestion (internal/trace): parse Google ClusterData-style
+// task events or Azure VM-trace-style rows into a canonical job stream,
+// normalize it (rebase, rescale, deterministically down-sample), and replay
+// it through the online scheduler via SchedConfig.Trace.
+type (
+	// ClusterTrace is a parsed, validated, arrival-ordered trace.
+	ClusterTrace = trace.Trace
+	// TraceJob is one normalized trace row.
+	TraceJob = trace.Job
+	// TraceFormat selects a supported trace schema.
+	TraceFormat = trace.Format
+	// TraceOptions tunes trace normalization (span, rate/duration scaling,
+	// down-sampling).
+	TraceOptions = trace.Options
+	// TraceSynthConfig tunes the schema-exact fixture generator.
+	TraceSynthConfig = trace.SynthConfig
+	// TraceArrivals replays a trace's arrival instants as an arrival
+	// process (workload.TraceStream); SchedConfig.Trace builds one
+	// internally, and custom consumers can drive it directly.
+	TraceArrivals = workload.TraceStream
+)
+
+// The supported trace schemas.
+const (
+	GoogleTraceFormat = trace.Google
+	AzureTraceFormat  = trace.Azure
+)
+
+// ParseTrace reads a cluster trace in the given format, streaming.
+func ParseTrace(r io.Reader, f TraceFormat) (*ClusterTrace, error) { return trace.Parse(r, f) }
+
+// TraceFormatByName resolves "google" or "azure" to a TraceFormat.
+func TraceFormatByName(name string) (TraceFormat, error) { return trace.FormatByName(name) }
+
+// SynthesizeTrace emits a schema-exact CSV fixture for tests and demos — the
+// real parse path without gigabytes of trace data.
+func SynthesizeTrace(cfg TraceSynthConfig) []byte { return trace.Synthesize(cfg) }
+
+// NewTraceArrivals returns an arrival process replaying the given instants.
+func NewTraceArrivals(timesSec []float64) (*TraceArrivals, error) {
+	return workload.NewTraceStream(timesSec)
+}
+
+// JobsFromTrace maps a trace's jobs onto catalog applications by resource
+// shape — the translation SchedConfig.Trace applies internally, exposed for
+// custom pipelines.
+func JobsFromTrace(tr *ClusterTrace, candidates []string) ([]string, error) {
+	return sched.JobsFromTrace(tr, candidates)
+}
+
 // Energy modeling and autoscaling: the watts that approximation buys. A
 // power model derived from the platform spec attaches to scenarios
 // (ScenarioConfig.EnergyModel) and scheduling runs (SchedConfig.Energy);
@@ -408,7 +459,7 @@ func Experiments() []ExperimentEntry { return experiments.Registry() }
 
 // RunExperiment runs one experiment by ID ("table1", "fig1dse", "fig1impact",
 // "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "overhead",
-// "sched", "energy").
+// "sched", "energy", "trace").
 func RunExperiment(id string, p ExperimentProfile) (Renderer, error) {
 	e, err := experiments.ByID(id)
 	if err != nil {
