@@ -35,7 +35,7 @@ func main() {
 	flag.Parse()
 
 	if *verify != "" {
-		if err := verifyTrajectories(*verify); err != nil {
+		if err := verifyTrajectories(*verify, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "pliant-bench: %v\n", err)
 			os.Exit(1)
 		}

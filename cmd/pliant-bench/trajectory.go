@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -317,6 +318,9 @@ func runTrajectory(label string) error {
 	shardedRec.Metrics["shards"] = float64(shards)
 	shardedRec.Metrics["cores"] = float64(runtime.GOMAXPROCS(0))
 	shardedRec.Metrics["speedup"] = singleRec.NsPerOp / shardedRec.NsPerOp
+	if frac, ok := shardedBarrierWaitFrac(shards); ok {
+		shardedRec.Metrics["barrier_wait_frac"] = frac
+	}
 	t.Benchmarks = append(t.Benchmarks, shardedRec)
 
 	path := fmt.Sprintf("BENCH_%s.json", label)
@@ -341,10 +345,40 @@ func runTrajectory(label string) error {
 	return nil
 }
 
+// shardedBarrierWaitFrac runs the sharded bench scenario once with a
+// wall-clock observer attached and returns the cluster-wide barrier-wait
+// fraction — idle-at-the-merge-barrier nanoseconds over total shard wall
+// time. It rides outside the timed benchmark loop (the observer's profile
+// channel is wall-clock, not part of the measured op), so the trajectory
+// record can say not just how fast the sharded day was but where a missing
+// speedup went.
+func shardedBarrierWaitFrac(shards int) (float64, bool) {
+	o := pliant.NewObserver(pliant.ObserverOptions{})
+	cfg := shardedBenchConfig(shards)
+	cfg.Obs = o
+	res, err := pliant.RunSched(cfg)
+	if err != nil {
+		return 0, false
+	}
+	var epNs, waitNs int64
+	for _, p := range res.ShardProfiles {
+		epNs += p.EpisodeNs
+		waitNs += p.BarrierWaitNs
+	}
+	total := epNs + waitNs
+	if total <= 0 {
+		return 0, false
+	}
+	return float64(waitNs) / float64(total), true
+}
+
 // verifyTrajectories parses every BENCH_*.json under dir and fails loudly on
 // the first unreadable, unparsable, or structurally empty file — the CI
 // guard that keeps the perf-trajectory format consumable across PRs.
-func verifyTrajectories(dir string) error {
+// Non-fatal honesty findings (a speedup recorded on one core measures
+// nothing) go to w as warnings: committed single-core records stay valid
+// history, but nobody reads them as a parallelism result.
+func verifyTrajectories(dir string, w io.Writer) error {
 	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
 	if err != nil {
 		return err
@@ -381,6 +415,9 @@ func verifyTrajectories(dir string) error {
 						return fmt.Errorf("%s: %s missing %s metadata alongside ns/op", p, b.Name, key)
 					}
 				}
+				if b.Metrics["cores"] == 1 {
+					fmt.Fprintf(w, "pliant-bench: warning: %s: %s: speedup unmeasured (recorded on 1 core; shards time-slice one CPU)\n", p, b.Name)
+				}
 			}
 			// Trace-replay records (BENCH_PR5.json onward) must state the
 			// scale of the trace they replayed: a wall-clock figure is
@@ -394,7 +431,7 @@ func verifyTrajectories(dir string) error {
 				}
 			}
 		}
-		fmt.Printf("pliant-bench: %s ok (%d benchmarks, label %s)\n", p, len(t.Benchmarks), t.Label)
+		fmt.Fprintf(w, "pliant-bench: %s ok (%d benchmarks, label %s)\n", p, len(t.Benchmarks), t.Label)
 	}
 	return nil
 }

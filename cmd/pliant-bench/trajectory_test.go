@@ -1,8 +1,11 @@
 package main
 
 import (
+	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -19,7 +22,7 @@ func TestCommittedTrajectoriesParse(t *testing.T) {
 	if len(paths) == 0 {
 		t.Fatalf("no BENCH_*.json committed under %s", root)
 	}
-	if err := verifyTrajectories(root); err != nil {
+	if err := verifyTrajectories(root, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -27,19 +30,19 @@ func TestCommittedTrajectoriesParse(t *testing.T) {
 // TestVerifyRejectsGarbage covers the failure side of the CI guard.
 func TestVerifyRejectsGarbage(t *testing.T) {
 	dir := t.TempDir()
-	if err := verifyTrajectories(dir); err == nil {
+	if err := verifyTrajectories(dir, io.Discard); err == nil {
 		t.Error("empty directory verified")
 	}
 	if err := os.WriteFile(filepath.Join(dir, "BENCH_bad.json"), []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := verifyTrajectories(dir); err == nil {
+	if err := verifyTrajectories(dir, io.Discard); err == nil {
 		t.Error("unparsable trajectory verified")
 	}
 	if err := os.WriteFile(filepath.Join(dir, "BENCH_bad.json"), []byte(`{"label":"x","benchmarks":[]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := verifyTrajectories(dir); err == nil {
+	if err := verifyTrajectories(dir, io.Discard); err == nil {
 		t.Error("benchmark-free trajectory verified")
 	}
 }
@@ -58,16 +61,66 @@ func TestVerifyRequiresShardedSpeedupMetadata(t *testing.T) {
 		}
 	}
 	write("")
-	if err := verifyTrajectories(dir); err == nil {
+	if err := verifyTrajectories(dir, io.Discard); err == nil {
 		t.Error("sharded record without speedup metadata verified")
 	}
 	write(`,"metrics":{"shards":4,"cores":4}`)
-	if err := verifyTrajectories(dir); err == nil {
+	if err := verifyTrajectories(dir, io.Discard); err == nil {
 		t.Error("sharded record without a speedup figure verified")
 	}
 	write(`,"metrics":{"shards":4,"cores":4,"speedup":2.9}`)
-	if err := verifyTrajectories(dir); err != nil {
+	if err := verifyTrajectories(dir, io.Discard); err != nil {
 		t.Errorf("complete sharded record rejected: %v", err)
+	}
+}
+
+// TestVerifyWarnsUnmeasuredSpeedup pins the honest-trajectory gate: a
+// sharded record whose cores metadata says 1 carries a speedup figure that
+// measured nothing (the shards time-sliced one CPU), so -verify must say so
+// — as a warning, because the committed BENCH_PR4/PR5 history ran on one
+// core and must keep verifying.
+func TestVerifyWarnsUnmeasuredSpeedup(t *testing.T) {
+	dir := t.TempDir()
+	write := func(cores int) {
+		t.Helper()
+		doc := fmt.Sprintf(`{"label":"PR6","benchmarks":[{"name":"SchedShardedDiurnal/sharded",`+
+			`"iterations":1,"ns_per_op":5.0e9,"metrics":{"shards":4,"cores":%d,"speedup":1.02}}]}`, cores)
+		if err := os.WriteFile(filepath.Join(dir, "BENCH_PR6.json"), []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(1)
+	var out strings.Builder
+	if err := verifyTrajectories(dir, &out); err != nil {
+		t.Fatalf("single-core record must verify (warn, not fail): %v", err)
+	}
+	if !strings.Contains(out.String(), "speedup unmeasured") {
+		t.Errorf("no speedup-unmeasured warning for cores=1 record; output:\n%s", out.String())
+	}
+
+	write(4)
+	out.Reset()
+	if err := verifyTrajectories(dir, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "speedup unmeasured") {
+		t.Errorf("spurious warning for cores=4 record; output:\n%s", out.String())
+	}
+}
+
+// TestCommittedSingleCoreRecordsWarn keeps the warning honest against the
+// repo's real history: the committed BENCH_PR4/PR5 sharded records were
+// taken on one core, so they must still verify AND must each be flagged.
+func TestCommittedSingleCoreRecordsWarn(t *testing.T) {
+	var out strings.Builder
+	if err := verifyTrajectories(filepath.Join("..", ".."), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"BENCH_PR4.json", "BENCH_PR5.json"} {
+		want := name + ": SchedShardedDiurnal/sharded: speedup unmeasured"
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("no speedup-unmeasured warning for %s; output:\n%s", name, out.String())
+		}
 	}
 }
 
@@ -85,15 +138,15 @@ func TestVerifyRequiresTraceReplayMetadata(t *testing.T) {
 		}
 	}
 	write("")
-	if err := verifyTrajectories(dir); err == nil {
+	if err := verifyTrajectories(dir, io.Discard); err == nil {
 		t.Error("trace record without rows/jobs metadata verified")
 	}
 	write(`,"metrics":{"rows":468}`)
-	if err := verifyTrajectories(dir); err == nil {
+	if err := verifyTrajectories(dir, io.Discard); err == nil {
 		t.Error("trace record without a jobs figure verified")
 	}
 	write(`,"metrics":{"rows":468,"jobs":24}`)
-	if err := verifyTrajectories(dir); err != nil {
+	if err := verifyTrajectories(dir, io.Discard); err != nil {
 		t.Errorf("complete trace record rejected: %v", err)
 	}
 }

@@ -12,6 +12,7 @@
 //	pliant-sched -shards 8 -policy telemetry   # sharded multi-engine run
 //	pliant-sched -trace tasks.csv -trace-format google -trace-scale 180
 //	pliant-sched -trace vms.csv -trace-format azure -trace-jobs 48 -shape trace
+//	pliant-sched -policy telemetry -obs -trace-out trace.json -metrics-csv metrics.csv
 package main
 
 import (
@@ -52,6 +53,10 @@ func main() {
 		jobsFlag   = flag.String("jobs", "", "comma-separated catalog apps to cycle jobs through (default: shuffled catalog; with -trace, the candidate set)")
 		jsonOut    = flag.String("json", "", "write the result as JSON to a file ('-' for stdout)")
 		csvOut     = flag.String("csv", "", "write the cluster-horizon trace as CSV to a file ('-' for stdout)")
+		obsOn      = flag.Bool("obs", false, "attach the observability layer and print a shard wall-clock profile (implied by the -trace-out/-metrics-* flags; needs a single -policy)")
+		traceOut   = flag.String("trace-out", "", "write the decision trace as Chrome trace-event JSON, loadable in Perfetto ('-' for stdout; implies -obs)")
+		metricsOut = flag.String("metrics-out", "", "write final metrics in Prometheus text format ('-' for stdout; implies -obs)")
+		metricsCSV = flag.String("metrics-csv", "", "write per-window metric snapshots as CSV ('-' for stdout; implies -obs)")
 		useEnergy  = flag.Bool("energy", false, "attach the Table 1 power model: joules accounting + energy columns")
 		autoscaler = flag.String("autoscale", "none",
 			"node lifecycle controller (implies -energy): none, consolidate, approx-for-watts")
@@ -119,6 +124,13 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	wantObs := *obsOn || *traceOut != "" || *metricsOut != "" || *metricsCSV != ""
+	if wantObs {
+		if len(policies) != 1 {
+			fail(fmt.Errorf("observability outputs cover one run: pick a single -policy (not %q)", *policy))
+		}
+		cfg.Obs = pliant.NewObserver(pliant.ObserverOptions{})
+	}
 	results, err := pliant.CompareSchedPolicies(cfg, policies...)
 	if err != nil {
 		fail(err)
@@ -138,6 +150,48 @@ func main() {
 		if err := writeTo(*csvOut, func(w *os.File) error { return pliant.WriteSchedTraceCSV(w, last) }); err != nil {
 			fail(err)
 		}
+	}
+	if wantObs {
+		printProfiles(last.ShardProfiles)
+		meta := pliant.ObsTraceMeta{Policy: last.Policy}
+		for _, n := range nodes {
+			meta.NodeNames = append(meta.NodeNames, n.Name)
+		}
+		if *traceOut != "" {
+			if err := writeTo(*traceOut, func(w *os.File) error {
+				return pliant.WriteChromeTrace(w, cfg.Obs.Tracer, meta)
+			}); err != nil {
+				fail(err)
+			}
+		}
+		if *metricsOut != "" {
+			if err := writeTo(*metricsOut, func(w *os.File) error {
+				return pliant.WriteMetricsProm(w, cfg.Obs.Metrics)
+			}); err != nil {
+				fail(err)
+			}
+		}
+		if *metricsCSV != "" {
+			if err := writeTo(*metricsCSV, func(w *os.File) error {
+				return pliant.WriteMetricsCSV(w, cfg.Obs.Metrics)
+			}); err != nil {
+				fail(err)
+			}
+		}
+	}
+}
+
+// printProfiles renders the wall-clock shard profile (non-deterministic;
+// kept out of every golden-pinned artifact).
+func printProfiles(profiles []pliant.ShardProfile) {
+	if len(profiles) == 0 {
+		return
+	}
+	fmt.Printf("\nshard wall-clock profile\n  %5s %8s %9s %12s %13s\n",
+		"shard", "windows", "episodes", "episode ms", "barrier wait")
+	for _, p := range profiles {
+		fmt.Printf("  %5d %8d %9d %12.1f %12.0f%%\n",
+			p.Shard, p.Windows, p.Episodes, float64(p.EpisodeNs)/1e6, p.BarrierWaitFrac()*100)
 	}
 }
 

@@ -67,6 +67,18 @@ const (
 	// the identical run at shards=2 and shards=4 against the same pins.
 	goldenTraceJSON = "fe80b0d5b33952ad5ee2d1e3ce46118a14f284c817586e2891c4109f991feb2c"
 	goldenTraceCSV  = "e3c4845810be8268abc53c4855a9239ca8c47cf653c1765fe15407ba54612945"
+
+	// goldenObs pins the observability layer (PR 6): the shard golden's
+	// six-node energy-managed day, run with an Observer attached, must export
+	// byte-identical Chrome-trace JSON, Prometheus text, and metrics CSV at
+	// every shard count — all tracer records and metric increments are
+	// emitted from the coordinator's serial sections, which shard counts
+	// don't reorder. The same test asserts the obs-on run's result JSON still
+	// hashes to goldenShardJSON: attaching an observer never perturbs the
+	// simulation.
+	goldenObsChrome = "6a19f0042f2e2fb0dd626a6396fa457a10c7aa002c73c4dc92feb0a22475ae5c"
+	goldenObsProm   = "d8122d2c333d060cd2e0f02ab88711124f274e485f1a15cacfe75480a6d34438"
+	goldenObsCSV    = "24cf1bafedab56ba185cc31f961ba79228ae0179e02ff22e26dfb31247651b8a"
 )
 
 func goldenScenarioConfig() pliant.ScenarioConfig {
@@ -311,6 +323,81 @@ func TestGoldenTraceReplay(t *testing.T) {
 		}
 		if !bytes.Equal(csv, csv1) {
 			t.Errorf("shards=%d trace-replay CSV differs from single-engine bytes", shards)
+		}
+	}
+}
+
+// TestGoldenObs is the observability layer's acceptance golden: the obs
+// exports (Chrome trace, Prometheus text, metrics CSV) of the shard golden
+// day are pinned by hash and must be byte-identical at shards 1, 2, and 4,
+// while the run's result JSON stays byte-identical to the obs-off golden
+// (goldenShardJSON) — observation never perturbs the simulation. Runs in
+// -short (and under the CI race job via an explicit step, where the shard
+// goroutines' profiler writes are the interesting surface).
+func TestGoldenObs(t *testing.T) {
+	export := func(shards int) (js, chrome, prom, mcsv []byte) {
+		t.Helper()
+		cfg := goldenShardConfig(shards)
+		cfg.Obs = pliant.NewObserver(pliant.ObserverOptions{})
+		res, err := pliant.RunSched(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.ShardProfiles) != shards {
+			t.Errorf("shards=%d: %d shard profiles", shards, len(res.ShardProfiles))
+		}
+		var j bytes.Buffer
+		if err := pliant.WriteSchedResultJSON(&j, res); err != nil {
+			t.Fatal(err)
+		}
+		meta := pliant.ObsTraceMeta{Policy: res.Policy}
+		for _, n := range cfg.Nodes {
+			meta.NodeNames = append(meta.NodeNames, n.Name)
+		}
+		var ch, pr, mc bytes.Buffer
+		if err := pliant.WriteChromeTrace(&ch, cfg.Obs.Tracer, meta); err != nil {
+			t.Fatal(err)
+		}
+		if err := pliant.WriteMetricsProm(&pr, cfg.Obs.Metrics); err != nil {
+			t.Fatal(err)
+		}
+		if err := pliant.WriteMetricsCSV(&mc, cfg.Obs.Metrics); err != nil {
+			t.Fatal(err)
+		}
+		return j.Bytes(), ch.Bytes(), pr.Bytes(), mc.Bytes()
+	}
+	js1, ch1, pr1, mc1 := export(1)
+	if os.Getenv("PLIANT_GOLDEN") == "print" {
+		t.Logf("goldenObsChrome = %q", sha(ch1))
+		t.Logf("goldenObsProm   = %q", sha(pr1))
+		t.Logf("goldenObsCSV    = %q", sha(mc1))
+		return
+	}
+	if got := sha(js1); got != goldenShardJSON {
+		t.Errorf("obs-on result JSON hash = %s, obs-off golden %s (observation perturbed the run)", got, goldenShardJSON)
+	}
+	if got := sha(ch1); got != goldenObsChrome {
+		t.Errorf("chrome trace hash = %s, golden %s", got, goldenObsChrome)
+	}
+	if got := sha(pr1); got != goldenObsProm {
+		t.Errorf("prometheus text hash = %s, golden %s", got, goldenObsProm)
+	}
+	if got := sha(mc1); got != goldenObsCSV {
+		t.Errorf("metrics CSV hash = %s, golden %s", got, goldenObsCSV)
+	}
+	for _, shards := range []int{2, 4} {
+		js, ch, pr, mc := export(shards)
+		if !bytes.Equal(js, js1) {
+			t.Errorf("shards=%d obs-on result JSON differs from single-engine bytes", shards)
+		}
+		if !bytes.Equal(ch, ch1) {
+			t.Errorf("shards=%d chrome trace differs from single-engine bytes", shards)
+		}
+		if !bytes.Equal(pr, pr1) {
+			t.Errorf("shards=%d prometheus text differs from single-engine bytes", shards)
+		}
+		if !bytes.Equal(mc, mc1) {
+			t.Errorf("shards=%d metrics CSV differs from single-engine bytes", shards)
 		}
 	}
 }

@@ -1,0 +1,119 @@
+// Observability: watch the online scheduler decide. An Observer attached to
+// a scheduling run records every decision in virtual time — placements with
+// rejected-candidate counts, autoscaler verdicts, node lifecycle
+// transitions, window roll-ups — into an alloc-free ring, snapshots a
+// metrics registry at every window boundary, and accounts each shard's
+// wall-clock episode and barrier-wait time. The decision trace exports as
+// Chrome trace-event JSON: drop obstrace.json onto ui.perfetto.dev (or
+// chrome://tracing) and read the day lane by lane, one per node.
+//
+// Everything except the wall-clock profile is deterministic: same seed,
+// same bytes, at any shard count.
+//
+//	go run ./examples/obstrace
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	pliant "github.com/approx-sched/pliant"
+)
+
+func main() {
+	day, err := pliant.NewDiurnalLoad(0.25, 240)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := pliant.EnergyModelFor(pliant.TablePlatform())
+
+	// One observer per run: tracer + metrics registry + shard profiler.
+	observer := pliant.NewObserver(pliant.ObserverOptions{})
+
+	nodes := []pliant.ClusterNode{
+		{Name: "cache-1", Service: pliant.Memcached, MaxApps: 3},
+		{Name: "web-1", Service: pliant.NGINX, MaxApps: 3},
+		{Name: "web-2", Service: pliant.NGINX, MaxApps: 3},
+		{Name: "db-1", Service: pliant.MongoDB, MaxApps: 3},
+	}
+	cfg := pliant.SchedConfig{
+		Seed:       42,
+		Nodes:      nodes,
+		Policy:     pliant.TelemetryAwarePlacement{},
+		Horizon:    240 * pliant.Second,
+		Epoch:      12 * pliant.Second,
+		JobsPerSec: 0.12,
+		BaseLoad:   0.65,
+		Shape:      day,
+		TimeScale:  16,
+		Shards:     2, // sharded run: the trace bytes don't care
+		Energy:     &model,
+		Autoscaler: pliant.ConsolidateAutoscaler{},
+		Obs:        observer,
+	}
+
+	res, err := pliant.RunSched(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s day: %d episodes, %.0f%% of busy node-windows inside QoS, %.0fkJ\n\n",
+		res.Policy, res.Episodes, res.QoSMetFrac*100, res.Joules/1000)
+
+	// The decision record, by kind.
+	tr := observer.Tracer
+	fmt.Println("decision trace (virtual time, deterministic):")
+	kinds := []pliant.ObsRecordKind{
+		pliant.ObsKindWindow, pliant.ObsKindEpisode, pliant.ObsKindPlacement,
+		pliant.ObsKindAutoscale, pliant.ObsKindLifecycle,
+	}
+	for _, k := range kinds {
+		fmt.Printf("  %-10s %5d records\n", k, tr.CountOf(k))
+	}
+
+	// Spot-check: the last few placement decisions as the ring holds them.
+	fmt.Println("\nlast placement decisions:")
+	var placements []pliant.ObsRecord
+	tr.Records(func(r pliant.ObsRecord) {
+		if r.Kind == pliant.ObsKindPlacement {
+			placements = append(placements, r)
+		}
+	})
+	tail := placements
+	if len(tail) > 4 {
+		tail = tail[len(tail)-4:]
+	}
+	for _, r := range tail {
+		where := "deferred"
+		if r.Node >= 0 {
+			where = "-> " + nodes[r.Node].Name
+		}
+		fmt.Printf("  t=%3.0fs window %2d: job %d %s (%d candidates had free slots)\n",
+			float64(r.At)/1e9, r.Window, r.A, where, r.B)
+	}
+
+	// Wall-clock profile: where the real CPU time went, per shard. This is
+	// the one non-deterministic channel.
+	fmt.Println("\nshard wall-clock profile (non-deterministic):")
+	for _, p := range res.ShardProfiles {
+		fmt.Printf("  shard %d: %d episodes in %.1fms, %.0f%% of wall time at the barrier\n",
+			p.Shard, p.Episodes, float64(p.EpisodeNs)/1e6, p.BarrierWaitFrac()*100)
+	}
+
+	// Export the Perfetto-loadable trace.
+	meta := pliant.ObsTraceMeta{Policy: res.Policy}
+	for _, n := range nodes {
+		meta.NodeNames = append(meta.NodeNames, n.Name)
+	}
+	f, err := os.Create("obstrace.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pliant.WriteChromeTrace(f, tr, meta); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwrote obstrace.json — open it at ui.perfetto.dev to see the day lane by lane")
+}

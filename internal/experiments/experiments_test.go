@@ -470,9 +470,44 @@ func TestTraceReplay(t *testing.T) {
 	}
 }
 
+// TestObsExperiment pins the observability study: the traced day emits
+// every record kind, every window snapshots its metrics, and — the property
+// the layer exists for — the exports are byte-identical across shard counts.
+func TestObsExperiment(t *testing.T) {
+	skipIfShort(t)
+	res, err := ObsTrace(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ShardInvariant {
+		t.Error("obs exports diverged between shard counts")
+	}
+	if res.Windows != 12 {
+		t.Errorf("window records = %d, want 12 (120s horizon / 10s epoch)", res.Windows)
+	}
+	if res.Snapshots != int(res.Windows) {
+		t.Errorf("snapshots = %d, want one per window (%d)", res.Snapshots, res.Windows)
+	}
+	if res.Episodes == 0 || res.Placements == 0 || res.Autoscale == 0 || res.Lifecycle == 0 {
+		t.Errorf("record kinds missing: %+v", res)
+	}
+	if res.Total < res.Windows+res.Episodes+res.Placements {
+		t.Errorf("total %d below component sum", res.Total)
+	}
+	if len(res.TraceSHA) != 64 {
+		t.Errorf("trace sha %q not a sha256 hex digest", res.TraceSHA)
+	}
+	out := res.Render()
+	for _, want := range []string{"observability", "records:", "snapshots", "byte-identical across shard counts: true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRegistry(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 14 {
+	if len(reg) != 15 {
 		t.Fatalf("registry has %d entries", len(reg))
 	}
 	ids := map[string]bool{}

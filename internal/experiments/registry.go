@@ -30,6 +30,7 @@ func Registry() []Entry {
 		{"sched", "Sec. 6.4 extension: online scheduling under a diurnal day", wrap(SchedDiurnal)},
 		{"energy", "Energy extension: autoscaling and approximation-for-watts over a diurnal day", wrap(EnergyDiurnal)},
 		{"trace", "Trace extension: policies replayed on production-shaped cluster-trace arrivals", wrap(TraceReplay)},
+		{"obs", "Observability extension: deterministic decision trace and metrics over a diurnal day", wrap(ObsTrace)},
 	}
 }
 

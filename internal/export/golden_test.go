@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"github.com/approx-sched/pliant/internal/colocate"
+	"github.com/approx-sched/pliant/internal/obs"
 	"github.com/approx-sched/pliant/internal/sched"
 	"github.com/approx-sched/pliant/internal/stats"
 )
@@ -144,6 +145,44 @@ func TestTraceCSVHeadersGolden(t *testing.T) {
 	}
 	if got := strings.SplitN(buf.String(), "\n", 2)[0]; got != goldenSchedCSVHeader {
 		t.Errorf("sched CSV header drifted:\n got %s\nwant %s", got, goldenSchedCSVHeader)
+	}
+}
+
+// TestObsProfilesNeverExported pins the observability compatibility
+// contract: ShardProfiles are wall-clock (non-deterministic) data, so a
+// result from an obs-on run must export byte-identical JSON and CSV to the
+// same result without them — the wire format carries no obs fields, and
+// obs-on runs reproduce obs-off golden hashes.
+func TestObsProfilesNeverExported(t *testing.T) {
+	plain := fullSchedResult()
+	var jsPlain, csvPlain bytes.Buffer
+	if err := WriteSchedResultJSON(&jsPlain, plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSchedTraceCSV(&csvPlain, plain); err != nil {
+		t.Fatal(err)
+	}
+
+	observed := fullSchedResult()
+	observed.ShardProfiles = []obs.ShardProfile{
+		{Shard: 0, Windows: 12, Episodes: 7, EpisodeNs: 123456789, BarrierWaitNs: 4242},
+		{Shard: 1, Windows: 12, Episodes: 5, EpisodeNs: 98765432, BarrierWaitNs: 31337},
+	}
+	var jsObs, csvObs bytes.Buffer
+	if err := WriteSchedResultJSON(&jsObs, observed); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSchedTraceCSV(&csvObs, observed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jsPlain.Bytes(), jsObs.Bytes()) {
+		t.Error("ShardProfiles leaked into the sched JSON document")
+	}
+	if !bytes.Equal(csvPlain.Bytes(), csvObs.Bytes()) {
+		t.Error("ShardProfiles leaked into the sched trace CSV")
+	}
+	if strings.Contains(jsObs.String(), "shard") {
+		t.Error("sched JSON mentions shards")
 	}
 }
 

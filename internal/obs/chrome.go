@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// TraceMeta names the lanes of a Chrome trace export. NodeNames index by
+// Record.Node; Policy labels the scheduler lane.
+type TraceMeta struct {
+	NodeNames []string
+	Policy    string
+}
+
+// Lifecycle-state and autoscale-action names for rendering. The numeric
+// values mirror internal/autoscale's State and ActionKind constants (pinned
+// by a test on the sched side); obs stays import-free of the scheduler
+// stack so any subsystem can adopt the tracer.
+var (
+	lifecycleNames = []string{"active", "draining", "parked", "waking"}
+	actionNames    = []string{"park", "wake", "setfreq"}
+)
+
+func nameOf(table []string, i int64) string {
+	if i >= 0 && int(i) < len(table) {
+		return table[i]
+	}
+	return "unknown"
+}
+
+// WriteChromeTrace renders the tracer's retained records as Chrome
+// trace-event JSON (the Perfetto/chrome://tracing format): one timeline lane
+// per node carrying its colocation episodes and the decisions that targeted
+// it, plus a scheduler lane for window markers and deferrals. Timestamps are
+// virtual microseconds, so a simulated day reads as a day. Records emit in
+// ring order with fixed float formatting — equal runs produce identical
+// bytes, and because the scheduler emits every record from its serial
+// coordinator sections, equal seeds produce identical bytes at any shard
+// count.
+func WriteChromeTrace(w io.Writer, t *Tracer, meta TraceMeta) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+
+	schedLane := len(meta.NodeNames)
+	first := true
+	emit := func(s string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(s)
+	}
+
+	// Lane metadata: the process, one named thread per node, the scheduler.
+	emit(`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"pliant cluster"}}`)
+	for i, n := range meta.NodeNames {
+		emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%q}}`, i, "node "+n))
+		emit(fmt.Sprintf(`{"name":"thread_sort_index","ph":"M","pid":1,"tid":%d,"args":{"sort_index":%d}}`, i, i+1))
+	}
+	schedName := "scheduler"
+	if meta.Policy != "" {
+		schedName = "scheduler (" + meta.Policy + ")"
+	}
+	emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%q}}`, schedLane, schedName))
+	emit(fmt.Sprintf(`{"name":"thread_sort_index","ph":"M","pid":1,"tid":%d,"args":{"sort_index":0}}`, schedLane))
+
+	ts := func(ns int64) string {
+		return strconv.FormatFloat(float64(ns)/1e3, 'f', 3, 64)
+	}
+	var err error
+	t.Records(func(r Record) {
+		if err != nil {
+			return
+		}
+		switch r.Kind {
+		case KindEpisode:
+			qos := "miss"
+			if r.B != 0 {
+				qos = "met"
+			}
+			emit(fmt.Sprintf(`{"name":"episode","cat":"episode","ph":"X","ts":%s,"dur":%s,"pid":1,"tid":%d,`+
+				`"args":{"window":%d,"qos":%q,"joules_u":%d}}`,
+				ts(r.At), ts(r.A), r.Node, r.Window, qos, r.C))
+		case KindPlacement:
+			if r.Node >= 0 {
+				emit(fmt.Sprintf(`{"name":"place job %d","cat":"placement","ph":"i","s":"t","ts":%s,"pid":1,"tid":%d,`+
+					`"args":{"window":%d,"job":%d,"rejected_candidates":%d,"deferrals":%d}}`,
+					r.A, ts(r.At), r.Node, r.Window, r.A, max64(r.B-1, 0), r.C))
+			} else {
+				emit(fmt.Sprintf(`{"name":"defer job %d","cat":"placement","ph":"i","s":"t","ts":%s,"pid":1,"tid":%d,`+
+					`"args":{"window":%d,"job":%d,"free_candidates":%d,"deferrals":%d}}`,
+					r.A, ts(r.At), schedLane, r.Window, r.A, r.B, r.C))
+			}
+		case KindAutoscale:
+			emit(fmt.Sprintf(`{"name":%q,"cat":"autoscale","ph":"i","s":"t","ts":%s,"pid":1,"tid":%d,`+
+				`"args":{"window":%d,"freq":%d}}`,
+				nameOf(actionNames, r.A), ts(r.At), r.Node, r.Window, r.B))
+		case KindLifecycle:
+			emit(fmt.Sprintf(`{"name":%q,"cat":"lifecycle","ph":"i","s":"t","ts":%s,"pid":1,"tid":%d,`+
+				`"args":{"window":%d}}`,
+				nameOf(lifecycleNames, r.A)+"->"+nameOf(lifecycleNames, r.B), ts(r.At), r.Node, r.Window))
+		case KindWindow:
+			emit(fmt.Sprintf(`{"name":"window %d","cat":"window","ph":"i","s":"p","ts":%s,"pid":1,"tid":%d,`+
+				`"args":{"pending":%d,"running":%d,"busy_nodes":%d}}`,
+				r.Window, ts(r.At), schedLane, r.A, r.B, r.C))
+		case KindReplayDrop:
+			emit(fmt.Sprintf(`{"name":"trace ingest","cat":"replay","ph":"i","s":"p","ts":%s,"pid":1,"tid":%d,`+
+				`"args":{"dropped_rows":%d,"defaulted_durations":%d,"jobs":%d}}`,
+				ts(r.At), schedLane, r.A, r.B, r.C))
+		}
+	})
+	if err != nil {
+		return err
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// ftoa renders a float the same way everywhere in the package: shortest
+// round-trip form, so outputs are deterministic and diff-friendly.
+func ftoa(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteMetricsProm writes the registry's final values in the Prometheus text
+// exposition format (# HELP / # TYPE comments, histogram le-buckets with
+// _sum and _count). Instruments appear in registration order and floats in
+// shortest round-trip form, so equal runs produce identical bytes.
+func WriteMetricsProm(w io.Writer, r *Registry) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range r.order {
+		fmt.Fprintf(bw, "# HELP %s %s\n", m.name, m.help)
+		switch m.kind {
+		case instCounter:
+			fmt.Fprintf(bw, "# TYPE %s counter\n", m.name)
+			fmt.Fprintf(bw, "%s %s\n", m.id(), ftoa(r.counters[m].v))
+		case instGauge:
+			fmt.Fprintf(bw, "# TYPE %s gauge\n", m.name)
+			fmt.Fprintf(bw, "%s %s\n", m.id(), ftoa(r.gauges[m].v))
+		case instHistogram:
+			h := r.histograms[m]
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", m.name)
+			cum := uint64(0)
+			for i, ub := range h.bounds {
+				cum += h.counts[i]
+				fmt.Fprintf(bw, "%s %d\n", bucketID(m, ftoa(ub)), cum)
+			}
+			cum += h.counts[len(h.bounds)]
+			fmt.Fprintf(bw, "%s %d\n", bucketID(m, "+Inf"), cum)
+			fmt.Fprintf(bw, "%s %s\n", suffixedID(m, "_sum"), ftoa(h.sum))
+			fmt.Fprintf(bw, "%s %d\n", suffixedID(m, "_count"), h.n)
+		}
+	}
+	return bw.Flush()
+}
+
+// bucketID renders name_bucket{labels...,le="ub"}.
+func bucketID(m *instrument, ub string) string {
+	s := m.name + "_bucket{"
+	for _, l := range m.labels {
+		s += fmt.Sprintf("%s=%q,", l.Key, l.Value)
+	}
+	return s + fmt.Sprintf("le=%q}", ub)
+}
+
+// suffixedID renders name<suffix>{labels...} for _sum/_count series.
+func suffixedID(m *instrument, suffix string) string {
+	base := instrument{name: m.name + suffix, labels: m.labels}
+	return base.id()
+}
+
+// WriteMetricsCSV writes the window-boundary snapshots as a time-indexed CSV
+// table: a t_seconds column, then one column per counter/gauge (by
+// Prometheus identity) and two per histogram (identity_count, identity_sum),
+// in registration order. One row per Snapshot call. Label-bearing identities
+// contain commas and quotes, so cells go through a real CSV encoder.
+func WriteMetricsCSV(w io.Writer, r *Registry) error {
+	cw := csv.NewWriter(w)
+	header := []string{"t_seconds"}
+	for _, m := range r.order {
+		if m.kind == instHistogram {
+			header = append(header, m.id()+"_count", m.id()+"_sum")
+		} else {
+			header = append(header, m.id())
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for i, t := range r.snapTimes {
+		row[0] = strconv.FormatFloat(t, 'f', -1, 64)
+		for j, v := range r.snapRows[i] {
+			row[j+1] = strconv.FormatFloat(v, 'f', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

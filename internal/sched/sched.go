@@ -23,12 +23,14 @@ package sched
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"github.com/approx-sched/pliant/internal/app"
 	"github.com/approx-sched/pliant/internal/autoscale"
 	"github.com/approx-sched/pliant/internal/cluster"
 	"github.com/approx-sched/pliant/internal/colocate"
 	"github.com/approx-sched/pliant/internal/energy"
+	"github.com/approx-sched/pliant/internal/obs"
 	"github.com/approx-sched/pliant/internal/sim"
 	"github.com/approx-sched/pliant/internal/stats"
 	"github.com/approx-sched/pliant/internal/trace"
@@ -176,6 +178,16 @@ type Config struct {
 	// energy and delay) and frequency states at every scheduling boundary.
 	// Requires Energy; nil keeps every node active at nominal frequency.
 	Autoscaler autoscale.Controller
+
+	// Obs attaches the observability layer (internal/obs): a virtual-time
+	// decision tracer, a metrics registry snapshotted at every window
+	// boundary, and a wall-clock shard profiler. Every record and metric is
+	// emitted from the run's serial coordinator sections, so obs outputs are
+	// byte-identical at any shard count; enabling obs never perturbs the
+	// simulation, so results are byte-identical to obs-off runs. Attach a
+	// fresh Observer per run — registries are cumulative. Nil keeps
+	// observability off with zero overhead on the hot path.
+	Obs *obs.Observer
 }
 
 // withDefaults fills zero values.
@@ -327,6 +339,13 @@ type Result struct {
 	// "p99.worst" at each window end; with an energy model also
 	// "watts.cluster", "nodes.active", and "nodes.parked" per window.
 	Trace *stats.Trace
+
+	// ShardProfiles is the wall-clock account of each shard (slot 0 covers
+	// the worker pool on the single-engine path), populated only when
+	// Config.Obs carried a profiler. Wall time is non-deterministic, so the
+	// profiles are deliberately excluded from the JSON/CSV exports and every
+	// golden-pinned artifact.
+	ShardProfiles []obs.ShardProfile
 }
 
 // NodeEnergy is one node's share of the cluster energy ledger.
@@ -384,6 +403,10 @@ type run struct {
 	lowFreqWindows int
 	wakes          int
 
+	// metrics holds the run's registered obs instruments (all nil with
+	// cfg.Obs == nil or no registry — see obs.go).
+	metrics schedMetrics
+
 	// scratch[w] is worker w's reusable episode state: engine arenas and
 	// histograms recycled across the thousands of node-window episodes a run
 	// simulates. Workers never share a scratch, and reuse does not perturb
@@ -426,6 +449,7 @@ func Run(cfg Config) (Result, error) {
 			s.scratch[w] = &colocate.Scratch{}
 		}
 	}
+	s.initObs()
 
 	arrivals := cfg.Arrivals
 	if cfg.Trace != nil {
@@ -498,6 +522,7 @@ func (s *run) arrive() {
 	}
 	s.jobs = append(s.jobs, j)
 	s.pending = append(s.pending, j)
+	s.obsJobArrived()
 }
 
 // boundary fires at the end of every scheduling window: it simulates the
@@ -509,6 +534,7 @@ func (s *run) boundary(now sim.Time) {
 	if s.err != nil {
 		return
 	}
+	epBefore := s.episodes
 	s.simulateWindow(now)
 	if s.err != nil {
 		return
@@ -522,21 +548,24 @@ func (s *run) boundary(now sim.Time) {
 		s.place(now)
 		s.recordOccupancy(now)
 	}
+	s.obsWindow(now, s.episodes-epBefore)
 	s.window++
 }
 
 // stepLifecycle applies the time-driven transitions at a boundary: drained
 // nodes park, waking nodes whose delay elapsed become placeable.
 func (s *run) stepLifecycle(now sim.Time) {
-	for _, n := range s.nodes {
+	for i, n := range s.nodes {
 		switch n.state {
 		case autoscale.Draining:
 			if len(n.resident) == 0 {
 				n.state = autoscale.Parked
+				s.obsLifecycle(now, i, autoscale.Draining, autoscale.Parked)
 			}
 		case autoscale.Waking:
 			if now >= n.wakeAt {
 				n.state = autoscale.Active
+				s.obsLifecycle(now, i, autoscale.Waking, autoscale.Active)
 			}
 		}
 	}
@@ -580,6 +609,8 @@ func (s *run) autoscale(now sim.Time) {
 			} else {
 				n.state = autoscale.Parked
 			}
+			s.obsAutoscale(now, act)
+			s.obsLifecycle(now, act.Node, autoscale.Active, n.state)
 		case autoscale.Wake:
 			if n.state != autoscale.Parked {
 				continue
@@ -589,6 +620,9 @@ func (s *run) autoscale(now sim.Time) {
 			n.freq = s.cfg.Energy.Nominal() // fresh nodes resume at nominal
 			n.joules += s.cfg.Energy.WakeJ
 			s.wakes++
+			s.obsWakeEnergy(s.cfg.Energy.WakeJ)
+			s.obsAutoscale(now, act)
+			s.obsLifecycle(now, act.Node, autoscale.Parked, autoscale.Waking)
 		case autoscale.SetFreq:
 			if act.Freq < 0 || act.Freq >= len(s.cfg.Energy.FreqGHz) {
 				s.fail(fmt.Errorf("sched: autoscaler %s set node %s to unknown frequency state %d",
@@ -596,6 +630,7 @@ func (s *run) autoscale(now sim.Time) {
 				return
 			}
 			n.freq = act.Freq
+			s.obsAutoscale(now, act)
 		}
 	}
 }
@@ -719,7 +754,16 @@ func (s *run) simulateWindow(now sim.Time) {
 		}
 	} else {
 		// Single-engine path: episodes fan out over the worker pool, folds
-		// apply serially in node order.
+		// apply serially in node order. The pool's wall time charges to
+		// profile slot 0, mirroring what a shard accounts for itself.
+		var prof *obs.Profiler
+		if s.cfg.Obs != nil {
+			prof = s.cfg.Obs.Profile
+		}
+		var t0 time.Time
+		if prof != nil {
+			t0 = time.Now()
+		}
 		runPool(s.cfg.Workers, len(busyIdx), func(worker, k int) {
 			i := busyIdx[k]
 			s.results[i] = s.runEpisode(i, winStart, s.scratch[worker])
@@ -732,7 +776,11 @@ func (s *run) simulateWindow(now sim.Time) {
 			}
 			s.foldEpisode(i, ep, winStart, &ws)
 		}
+		if prof != nil {
+			prof.AddEpisode(0, len(busyIdx), time.Since(t0).Nanoseconds())
+		}
 	}
+	s.obsEpisodes(now, busyIdx)
 	s.episodes += ws.Busy
 
 	// A node with no residents — idle all window, or just emptied by the
@@ -810,6 +858,7 @@ func (s *run) accountWindow(now sim.Time, results []episode, busyIdx []int) {
 	s.trace.Series("watts.cluster").Append(t, windowJ/epochSec)
 	s.trace.Series("nodes.active").Append(t, float64(active))
 	s.trace.Series("nodes.parked").Append(t, float64(parked))
+	s.obsEnergyWindow(windowJ, active, parked)
 }
 
 // soloUtil estimates the socket utilization of a node whose interactive
@@ -859,10 +908,14 @@ func (s *run) place(now sim.Time) {
 		return
 	}
 	states := s.nodeStates(now)
+	obsOn := s.cfg.Obs != nil
 	var still []*Job
 	for _, job := range s.pending {
 		choice := s.cfg.Policy.Place(*job, states)
 		if choice < 0 {
+			if obsOn {
+				s.obsPlacement(now, job, -1, freeCandidates(states))
+			}
 			job.Deferrals++
 			still = append(still, job)
 			continue
@@ -876,6 +929,9 @@ func (s *run) place(now sim.Time) {
 			s.fail(fmt.Errorf("sched: policy %s overfilled node %s with job %d", s.cfg.Policy.Name(), n.node.Name, job.ID))
 			return
 		}
+		if obsOn {
+			s.obsPlacement(now, job, choice, freeCandidates(states))
+		}
 		job.Node = choice
 		job.StartSec = now.Seconds()
 		n.resident = append(n.resident, job)
@@ -884,6 +940,19 @@ func (s *run) place(now sim.Time) {
 		states[choice].Pressure += job.Pressure
 	}
 	s.pending = still
+}
+
+// freeCandidates counts the nodes a policy offer presented with free slots —
+// the denominator of the tracer's rejected-candidate accounting. Only
+// computed with obs attached.
+func freeCandidates(states []NodeState) int {
+	c := 0
+	for i := range states {
+		if states[i].Free > 0 {
+			c++
+		}
+	}
+	return c
 }
 
 // recordOccupancy appends the window-start series the schedule-horizon
@@ -943,6 +1012,9 @@ func (s *run) finalize() Result {
 		out.ParkedNodeWindows = s.parkedWindows
 		out.LowFreqNodeWindows = s.lowFreqWindows
 		out.Wakes = s.wakes
+	}
+	if o := s.cfg.Obs; o != nil && o.Profile != nil {
+		out.ShardProfiles = o.Profile.Shards()
 	}
 
 	waitSum := 0.0

@@ -24,9 +24,11 @@ package sched
 
 import (
 	"sync"
+	"time"
 
 	"github.com/approx-sched/pliant/internal/cluster"
 	"github.com/approx-sched/pliant/internal/colocate"
+	"github.com/approx-sched/pliant/internal/obs"
 	"github.com/approx-sched/pliant/internal/sim"
 )
 
@@ -35,6 +37,12 @@ type shardGroup struct {
 	s      *run
 	shards []*shardRT
 	wg     sync.WaitGroup
+
+	// prof is the run's wall-clock profiler (nil with obs off). Shards
+	// charge their own episode time concurrently; barrier waits are charged
+	// by the coordinator after the merge. Wall-clock numbers never feed
+	// back into simulation state.
+	prof *obs.Profiler
 }
 
 // shardRT is one shard: a partition of the cluster's nodes advancing on its
@@ -52,6 +60,11 @@ type shardRT struct {
 	busy     []int
 	ws       cluster.WindowStats
 
+	// busyNs is the shard's wall time running this window's episodes,
+	// written by the shard goroutine and read by the coordinator after the
+	// barrier (ordered by the WaitGroup). Only maintained when profiling.
+	busyNs int64
+
 	req chan sim.Time // window-boundary instants; closed on shutdown
 }
 
@@ -59,6 +72,9 @@ type shardRT struct {
 // shard i mod shards) and starts one goroutine per shard.
 func newShardGroup(s *run, shards int) *shardGroup {
 	g := &shardGroup{s: s}
+	if s.cfg.Obs != nil {
+		g.prof = s.cfg.Obs.Profile
+	}
 	engines := sim.NewEngineGroup(shards)
 	for i := 0; i < shards; i++ {
 		sh := &shardRT{
@@ -98,11 +114,23 @@ func (g *shardGroup) advance(now sim.Time, busyIdx []int) cluster.WindowStats {
 		sh := g.shards[i%len(g.shards)]
 		sh.busy = append(sh.busy, i)
 	}
+	var t0 time.Time
+	if g.prof != nil {
+		t0 = time.Now()
+	}
 	g.wg.Add(len(g.shards))
 	for _, sh := range g.shards {
 		sh.req <- now
 	}
 	g.wg.Wait()
+	if g.prof != nil {
+		// The barrier spans the slowest shard; every other shard's idle
+		// share of that span is its barrier wait — the imbalance measure.
+		span := time.Since(t0).Nanoseconds()
+		for _, sh := range g.shards {
+			g.prof.AddBarrierWait(sh.id, span-sh.busyNs)
+		}
+	}
 
 	var ws cluster.WindowStats
 	for _, sh := range g.shards {
@@ -129,12 +157,21 @@ func (sh *shardRT) loop() {
 // follow-on runs shard clocks ahead of the barrier, which needs real
 // per-shard time.
 func (sh *shardRT) window(now sim.Time) {
+	prof := sh.g.prof
+	var t0 time.Time
+	if prof != nil {
+		t0 = time.Now()
+	}
 	sh.ws = cluster.WindowStats{}
 	start := now.Add(-sh.g.s.cfg.Epoch)
 	for _, i := range sh.busy {
 		sh.eng.ScheduleTyped(start, sh, uint64(i))
 	}
 	sh.eng.Run(now)
+	if prof != nil {
+		sh.busyNs = time.Since(t0).Nanoseconds()
+		prof.AddEpisode(sh.id, len(sh.busy), sh.busyNs)
+	}
 }
 
 // OnEvent implements sim.EventHandler: one owned node's episode, run and

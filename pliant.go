@@ -53,6 +53,7 @@ import (
 	"github.com/approx-sched/pliant/internal/experiments"
 	"github.com/approx-sched/pliant/internal/export"
 	"github.com/approx-sched/pliant/internal/monitor"
+	"github.com/approx-sched/pliant/internal/obs"
 	"github.com/approx-sched/pliant/internal/platform"
 	"github.com/approx-sched/pliant/internal/sched"
 	"github.com/approx-sched/pliant/internal/service"
@@ -437,6 +438,64 @@ func WriteSchedTraceCSV(w io.Writer, res SchedResult) error {
 	return export.WriteSchedTraceCSV(w, res)
 }
 
+// Observability (internal/obs): a deterministic, virtual-time view into a
+// scheduling run. An Observer attached via SchedConfig.Obs carries three
+// channels — a ring-buffered decision tracer exportable as Chrome
+// trace-event JSON (Perfetto-loadable), a metrics registry snapshotted at
+// every window boundary (Prometheus text format or CSV), and a wall-clock
+// shard profiler surfaced in SchedResult.ShardProfiles. Tracer and metrics
+// output is byte-identical for any shard count; attaching an observer never
+// perturbs simulation results.
+type (
+	// Observer bundles the three observability channels for one run.
+	Observer = obs.Observer
+	// ObserverOptions tunes observer construction (trace ring capacity).
+	ObserverOptions = obs.Options
+	// ObsTracer is the bounded, alloc-free virtual-time decision tracer.
+	ObsTracer = obs.Tracer
+	// ObsRecord is one fixed-size tracer record.
+	ObsRecord = obs.Record
+	// ObsRecordKind discriminates tracer records.
+	ObsRecordKind = obs.Kind
+	// ObsRegistry is the metrics registry (counters, gauges, histograms).
+	ObsRegistry = obs.Registry
+	// ObsLabel is one metric label pair.
+	ObsLabel = obs.Label
+	// ObsTraceMeta names the lanes of a Chrome trace export.
+	ObsTraceMeta = obs.TraceMeta
+	// ShardProfile is one shard's wall-clock account of a run.
+	ShardProfile = obs.ShardProfile
+)
+
+// Tracer record kinds.
+const (
+	ObsKindWindow     = obs.KindWindow
+	ObsKindEpisode    = obs.KindEpisode
+	ObsKindPlacement  = obs.KindPlacement
+	ObsKindAutoscale  = obs.KindAutoscale
+	ObsKindLifecycle  = obs.KindLifecycle
+	ObsKindReplayDrop = obs.KindReplayDrop
+)
+
+// NewObserver builds an observer with all three channels attached. Attach a
+// fresh one per run via SchedConfig.Obs.
+func NewObserver(opts ObserverOptions) *Observer { return obs.New(opts) }
+
+// WriteChromeTrace renders a tracer's records as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing: one timeline
+// lane per node plus a scheduler lane.
+func WriteChromeTrace(w io.Writer, t *ObsTracer, meta ObsTraceMeta) error {
+	return obs.WriteChromeTrace(w, t, meta)
+}
+
+// WriteMetricsProm writes a registry's current values in Prometheus text
+// exposition format.
+func WriteMetricsProm(w io.Writer, r *ObsRegistry) error { return obs.WriteMetricsProm(w, r) }
+
+// WriteMetricsCSV writes a registry's per-window snapshots as a CSV table,
+// one row per scheduling boundary.
+func WriteMetricsCSV(w io.Writer, r *ObsRegistry) error { return obs.WriteMetricsCSV(w, r) }
+
 // Experiments.
 type (
 	// ExperimentProfile selects the execution scale of experiments.
@@ -459,7 +518,7 @@ func Experiments() []ExperimentEntry { return experiments.Registry() }
 
 // RunExperiment runs one experiment by ID ("table1", "fig1dse", "fig1impact",
 // "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "overhead",
-// "sched", "energy", "trace").
+// "sched", "energy", "trace", "obs").
 func RunExperiment(id string, p ExperimentProfile) (Renderer, error) {
 	e, err := experiments.ByID(id)
 	if err != nil {
