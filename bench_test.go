@@ -292,6 +292,64 @@ func BenchmarkSchedEnergyDiurnal(b *testing.B) {
 	b.ReportMetric(kj/float64(b.N), "kJ/day")
 }
 
+// faultStormBenchConfig is the fault-injection scenario: the eight-node
+// cluster riding a compressed diurnal day through a correlated rack outage
+// plus MTTF churn and telemetry dropouts, under the degrade-under-loss
+// bundle (the examples/faultstorm storm).
+func faultStormBenchConfig() pliant.SchedConfig {
+	shape, _ := pliant.NewDiurnalLoad(0.25, 120)
+	var nodes []pliant.ClusterNode
+	for i := 0; i < 8; i++ {
+		switch i % 3 {
+		case 0:
+			nodes = append(nodes, pliant.ClusterNode{Name: "cache", Service: pliant.Memcached, MaxApps: 3})
+		case 1:
+			nodes = append(nodes, pliant.ClusterNode{Name: "web", Service: pliant.NGINX, MaxApps: 3})
+		default:
+			nodes = append(nodes, pliant.ClusterNode{Name: "db", Service: pliant.MongoDB, MaxApps: 3})
+		}
+	}
+	model := pliant.EnergyModelFor(pliant.TablePlatform())
+	return pliant.SchedConfig{
+		Seed:       42,
+		Nodes:      nodes,
+		Policy:     pliant.TelemetryAwarePlacement{},
+		Horizon:    120 * pliant.Second,
+		Epoch:      10 * pliant.Second,
+		JobsPerSec: 0.25,
+		BaseLoad:   0.65,
+		Shape:      shape,
+		TimeScale:  16,
+		Energy:     &model,
+		Autoscaler: pliant.DegradeUnderLossController{Normal: pliant.ConsolidateAutoscaler{ReserveSlots: 9}},
+		Faults: &pliant.FaultPlan{
+			MTTFSec:      300,
+			MTTRSec:      10,
+			DomainSize:   2,
+			Outages:      []pliant.FaultOutage{{AtSec: 35, Domain: 1, DurationSec: 50}},
+			StaleMTBFSec: 90,
+			StaleDurSec:  15,
+		},
+	}
+}
+
+// BenchmarkSchedFaultStorm measures one fault-injected day end to end: fault
+// compilation, crash/recovery bookkeeping, retry backoff, and the
+// degrade-under-loss controller all ride inside the measured op.
+func BenchmarkSchedFaultStorm(b *testing.B) {
+	var met, crashes float64
+	for i := 0; i < b.N; i++ {
+		res, err := pliant.RunSched(faultStormBenchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		met += res.QoSMetFrac
+		crashes += float64(res.Crashes)
+	}
+	b.ReportMetric(met/float64(b.N), "QoSMetFrac")
+	b.ReportMetric(crashes/float64(b.N), "crashes")
+}
+
 // shardedBenchConfig is the sharded-runtime scenario: one compressed diurnal
 // day on a 128-node cluster — the Sec. 6.4 study at the scale where a single
 // engine leaves cores idle.

@@ -134,6 +134,48 @@ func schedBenchConfig(policy pliant.SchedPolicy) pliant.SchedConfig {
 	}
 }
 
+// faultStormBenchConfig mirrors examples/faultstorm: the eight-node cluster
+// riding a compressed diurnal day through a correlated rack outage plus MTTF
+// churn and telemetry dropouts, under the degrade-under-loss bundle. Also
+// returns the plan so the record can carry its knobs as metadata.
+func faultStormBenchConfig() (pliant.SchedConfig, *pliant.FaultPlan) {
+	shape, _ := pliant.NewDiurnalLoad(0.25, 120)
+	var nodes []pliant.ClusterNode
+	for i := 0; i < 8; i++ {
+		switch i % 3 {
+		case 0:
+			nodes = append(nodes, pliant.ClusterNode{Name: "cache", Service: pliant.Memcached, MaxApps: 3})
+		case 1:
+			nodes = append(nodes, pliant.ClusterNode{Name: "web", Service: pliant.NGINX, MaxApps: 3})
+		default:
+			nodes = append(nodes, pliant.ClusterNode{Name: "db", Service: pliant.MongoDB, MaxApps: 3})
+		}
+	}
+	plan := &pliant.FaultPlan{
+		MTTFSec:      300,
+		MTTRSec:      10,
+		DomainSize:   2,
+		Outages:      []pliant.FaultOutage{{AtSec: 35, Domain: 1, DurationSec: 50}},
+		StaleMTBFSec: 90,
+		StaleDurSec:  15,
+	}
+	model := pliant.EnergyModelFor(pliant.TablePlatform())
+	return pliant.SchedConfig{
+		Seed:       42,
+		Nodes:      nodes,
+		Policy:     pliant.TelemetryAwarePlacement{},
+		Horizon:    120 * pliant.Second,
+		Epoch:      10 * pliant.Second,
+		JobsPerSec: 0.25,
+		BaseLoad:   0.65,
+		Shape:      shape,
+		TimeScale:  16,
+		Energy:     &model,
+		Autoscaler: pliant.DegradeUnderLossController{Normal: pliant.ConsolidateAutoscaler{ReserveSlots: 9}},
+		Faults:     plan,
+	}, plan
+}
+
 // traceReplayBenchConfig mirrors BenchmarkSchedTraceReplay in bench_test.go:
 // a synthesized Google-format trace compressed into the two-minute day and
 // replayed over the five-node cluster with telemetry-aware placement. Also
@@ -284,6 +326,36 @@ func runTrajectory(label string) error {
 	traceRec.Metrics["jobs"] = float64(traceJobs)
 	t.Benchmarks = append(t.Benchmarks, traceRec)
 
+	// One fault-injected day: the degrade-under-loss bundle riding out a
+	// correlated rack outage plus MTTF churn. The record carries the fault
+	// plan's knobs (MTTF, MTTR, retry budget), so every trajectory point
+	// states the storm it survived — the -verify gate rejects fault records
+	// without it.
+	faultCfg, faultPlan := faultStormBenchConfig()
+	faultRec := record("SchedFaultStorm", testing.Benchmark(func(b *testing.B) {
+		var met, crashes, requeued float64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := pliant.RunSched(faultCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			met += res.QoSMetFrac
+			crashes += float64(res.Crashes)
+			requeued += float64(res.Requeued)
+		}
+		b.ReportMetric(met/float64(b.N), "QoSMetFrac")
+		b.ReportMetric(crashes/float64(b.N), "crashes")
+		b.ReportMetric(requeued/float64(b.N), "requeued")
+	}))
+	if faultRec.Metrics == nil {
+		faultRec.Metrics = map[string]float64{}
+	}
+	faultRec.Metrics["mttf"] = faultPlan.MTTFSec
+	faultRec.Metrics["mttr"] = faultPlan.MTTRSec
+	faultRec.Metrics["retries"] = float64(faultPlan.Retries())
+	t.Benchmarks = append(t.Benchmarks, faultRec)
+
 	// The sharded multi-engine runtime on a 128-node diurnal day, against
 	// the single-engine path on the same scenario. The sharded record
 	// carries the speedup metadata (shards, cores, speedup) the -verify
@@ -425,6 +497,17 @@ func verifyTrajectories(dir string, w io.Writer) error {
 			// scheduled.
 			if strings.HasPrefix(b.Name, "SchedTraceReplay") {
 				for _, key := range []string{"rows", "jobs"} {
+					if b.Metrics[key] <= 0 {
+						return fmt.Errorf("%s: %s missing %s metadata alongside ns/op", p, b.Name, key)
+					}
+				}
+			}
+			// Fault-storm records (BENCH_PR7.json onward) must state the storm
+			// they were measured under: a QoS figure for a fault-injected run
+			// is meaningless without the MTTF/MTTR regime and the retry budget
+			// displaced jobs carried.
+			if strings.HasPrefix(b.Name, "SchedFaultStorm") {
+				for _, key := range []string{"mttf", "mttr", "retries"} {
 					if b.Metrics[key] <= 0 {
 						return fmt.Errorf("%s: %s missing %s metadata alongside ns/op", p, b.Name, key)
 					}

@@ -150,3 +150,30 @@ func TestVerifyRequiresTraceReplayMetadata(t *testing.T) {
 		t.Errorf("complete trace record rejected: %v", err)
 	}
 }
+
+// TestVerifyRequiresFaultStormMetadata pins the PR7 gate: a fault-storm
+// trajectory record must state the storm it was measured under (MTTF/MTTR
+// regime, retry budget) alongside ns/op.
+func TestVerifyRequiresFaultStormMetadata(t *testing.T) {
+	dir := t.TempDir()
+	write := func(metrics string) {
+		t.Helper()
+		doc := `{"label":"PR7","benchmarks":[{"name":"SchedFaultStorm",` +
+			`"iterations":1,"ns_per_op":5.0e9` + metrics + `}]}`
+		if err := os.WriteFile(filepath.Join(dir, "BENCH_PR7.json"), []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("")
+	if err := verifyTrajectories(dir, io.Discard); err == nil {
+		t.Error("fault record without mttf/mttr/retries metadata verified")
+	}
+	write(`,"metrics":{"mttf":300,"mttr":10}`)
+	if err := verifyTrajectories(dir, io.Discard); err == nil {
+		t.Error("fault record without a retries figure verified")
+	}
+	write(`,"metrics":{"mttf":300,"mttr":10,"retries":3}`)
+	if err := verifyTrajectories(dir, io.Discard); err != nil {
+		t.Errorf("complete fault record rejected: %v", err)
+	}
+}

@@ -13,6 +13,9 @@
 //	pliant-sched -trace tasks.csv -trace-format google -trace-scale 180
 //	pliant-sched -trace vms.csv -trace-format azure -trace-jobs 48 -shape trace
 //	pliant-sched -policy telemetry -obs -trace-out trace.json -metrics-csv metrics.csv
+//	pliant-sched -policy telemetry -mttf 120 -mttr 15 -retries 2   # seeded crash churn
+//	pliant-sched -outage 80:1:40 -fault-domain 2 -autoscale degrade-under-loss
+//	pliant-sched -trace tasks.csv -trace-faults   # replay the trace's failure rate
 package main
 
 import (
@@ -59,7 +62,18 @@ func main() {
 		metricsCSV = flag.String("metrics-csv", "", "write per-window metric snapshots as CSV ('-' for stdout; implies -obs)")
 		useEnergy  = flag.Bool("energy", false, "attach the Table 1 power model: joules accounting + energy columns")
 		autoscaler = flag.String("autoscale", "none",
-			"node lifecycle controller (implies -energy): none, consolidate, approx-for-watts")
+			"node lifecycle controller (implies -energy): none, consolidate, approx-for-watts, degrade-under-loss")
+		mttf = flag.Float64("mttf", 0,
+			"per-node mean time to failure in virtual seconds: seeded crash/recover churn (0 = no random crashes)")
+		mttr        = flag.Float64("mttr", 0, "mean repair time of random crashes in virtual seconds (0 = the 30s default)")
+		faultDomain = flag.Int("fault-domain", 0,
+			"group consecutive nodes into correlated failure domains (racks) of this size")
+		outageFlag = flag.String("outage", "",
+			"scripted rack outages as at:domain:duration triples in seconds, comma-separated (e.g. 80:1:40)")
+		retries = flag.Int("retries", 0,
+			"per-job retry budget after a crash (0 = the default 3, negative = drop on first crash)")
+		traceFaults = flag.Bool("trace-faults", false,
+			"derive the crash rate from the -trace's failure-shaped terminal causes (EVICT/FAIL/KILL/LOST)")
 	)
 	flag.Parse()
 
@@ -116,8 +130,20 @@ func main() {
 		cfg.Autoscaler = pliant.ConsolidateAutoscaler{}
 	case "approx-for-watts":
 		cfg.Autoscaler = pliant.ApproxForWattsAutoscaler{}
+	case "degrade-under-loss":
+		cfg.Autoscaler = pliant.DegradeUnderLossController{}
 	default:
-		fail(fmt.Errorf("unknown autoscaler %q (none, consolidate, approx-for-watts)", *autoscaler))
+		fail(fmt.Errorf("unknown autoscaler %q (none, consolidate, approx-for-watts, degrade-under-loss)", *autoscaler))
+	}
+
+	plan, err := buildFaultPlan(*traceFaults, tr, *horizon, *mttf, *mttr, *faultDomain, *outageFlag, *retries)
+	if err != nil {
+		fail(err)
+	}
+	if plan != nil {
+		cfg.Faults = plan
+		fmt.Printf("faults: MTTF %.0fs, MTTR %.0fs, domains of %d, %d scripted outage(s), retry budget %d\n\n",
+			plan.MTTFSec, plan.MTTRSec, plan.DomainSize, len(plan.Outages), plan.Retries())
 	}
 
 	policies, err := parsePolicies(*policy)
@@ -140,6 +166,10 @@ func main() {
 	last := results[len(results)-1]
 	fmt.Printf("\n%s detail: %d episodes, %d jobs pending at horizon, max wait %.1fs\n",
 		last.Policy, last.Episodes, last.Pending, last.MaxWaitSec)
+	if cfg.Faults != nil {
+		fmt.Printf("%s faults: %d crashes, %d recoveries, %d jobs requeued, %d lost, %d down node-windows\n",
+			last.Policy, last.Crashes, last.Recoveries, last.Requeued, last.JobsLost, last.DownNodeWindows)
+	}
 
 	if *jsonOut != "" {
 		if err := writeTo(*jsonOut, func(w *os.File) error { return pliant.WriteSchedResultJSON(w, last) }); err != nil {
@@ -272,6 +302,68 @@ func loadTrace(path, format string, scale float64, maxJobs int, horizonSec float
 		opts.MaxJobs = 2 * slots
 	}
 	return tr.Normalize(opts)
+}
+
+// buildFaultPlan assembles the run's fault plan from the flags: nil when no
+// fault knob was touched, a trace-derived MTTF/MTTR base when -trace-faults
+// is set, with the explicit flags layered on top either way.
+func buildFaultPlan(fromTrace bool, tr *pliant.ClusterTrace, horizonSec, mttf, mttr float64,
+	domain int, outageSpec string, retries int) (*pliant.FaultPlan, error) {
+	var plan pliant.FaultPlan
+	armed := false
+	if mttf < 0 || mttr < 0 {
+		return nil, fmt.Errorf("-mttf/-mttr must be non-negative virtual seconds (0 = off/default)")
+	}
+	if fromTrace {
+		if tr == nil {
+			return nil, fmt.Errorf("-trace-faults needs -trace")
+		}
+		derived, err := pliant.FaultPlanFromTrace(tr, horizonSec)
+		if err != nil {
+			return nil, err
+		}
+		plan = derived
+		armed = true
+	}
+	if mttf > 0 {
+		plan.MTTFSec = mttf
+		armed = true
+	}
+	if mttr > 0 {
+		plan.MTTRSec = mttr
+	}
+	if domain > 0 {
+		plan.DomainSize = domain
+	}
+	if retries != 0 {
+		plan.RetryBudget = retries
+	}
+	if outageSpec != "" {
+		outages, err := parseOutages(outageSpec)
+		if err != nil {
+			return nil, err
+		}
+		plan.Outages = outages
+		armed = true
+	}
+	if !armed {
+		return nil, nil
+	}
+	return &plan, nil
+}
+
+// parseOutages reads the -outage spec: comma-separated at:domain:duration
+// triples in seconds.
+func parseOutages(spec string) ([]pliant.FaultOutage, error) {
+	var outages []pliant.FaultOutage
+	for _, part := range strings.Split(spec, ",") {
+		var o pliant.FaultOutage
+		if _, err := fmt.Sscanf(part, "%f:%d:%f", &o.AtSec, &o.Domain, &o.DurationSec); err != nil {
+			return nil, fmt.Errorf("outage %q: want at:domain:duration (e.g. 80:1:40)", part)
+		}
+		outages = append(outages, o)
+	}
+	return outages, nil
 }
 
 func parsePolicies(name string) ([]pliant.SchedPolicy, error) {

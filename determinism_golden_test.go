@@ -79,6 +79,16 @@ const (
 	goldenObsChrome = "6a19f0042f2e2fb0dd626a6396fa457a10c7aa002c73c4dc92feb0a22475ae5c"
 	goldenObsProm   = "d8122d2c333d060cd2e0f02ab88711124f274e485f1a15cacfe75480a6d34438"
 	goldenObsCSV    = "24cf1bafedab56ba185cc31f961ba79228ae0179e02ff22e26dfb31247651b8a"
+
+	// goldenFault pins fault injection (PR 7): the shard golden's six-node
+	// energy-managed day with every fault process armed — MTTF/MTTR crash
+	// churn, a scripted two-node rack outage through the first peak, telemetry
+	// dropouts, and straggler windows. Fault events are consumed and applied
+	// only on the coordinator's serial sections, so the run must export
+	// byte-identical JSON/CSV at shards 1, 2, and 4, with an observer attached
+	// or not.
+	goldenFaultJSON = "6c84bfd1cc2ea51a5b63ee01fa2b03712419a909d7ba2b209753db58a8515f7f"
+	goldenFaultCSV  = "3ff6083e760089455e8d17a7b84104cf8265c1607fac258c1c647d5fccc7d53a"
 )
 
 func goldenScenarioConfig() pliant.ScenarioConfig {
@@ -398,6 +408,154 @@ func TestGoldenObs(t *testing.T) {
 		}
 		if !bytes.Equal(mc, mc1) {
 			t.Errorf("shards=%d metrics CSV differs from single-engine bytes", shards)
+		}
+	}
+}
+
+// goldenFaultConfig is the fault-injection golden scenario: the shard
+// golden's six-node energy-managed day with all four fault processes armed
+// over the 60-second horizon. The knobs are sized so every event kind
+// actually fires: the outage takes domain 1 (web-1, db-1) down through the
+// first peak, the renewal crash process adds uncorrelated churn, and the
+// dropout/straggler windows are short enough to open and close in-horizon.
+func goldenFaultConfig(shards int) pliant.SchedConfig {
+	cfg := goldenShardConfig(shards)
+	cfg.Faults = &pliant.FaultPlan{
+		MTTFSec:          90,
+		MTTRSec:          8,
+		DomainSize:       2,
+		Outages:          []pliant.FaultOutage{{AtSec: 22, Domain: 1, DurationSec: 15}},
+		StaleMTBFSec:     40,
+		StaleDurSec:      12,
+		StragglerMTBFSec: 45,
+		StragglerDurSec:  10,
+		RetryBackoffSec:  2,
+	}
+	return cfg
+}
+
+// TestGoldenFaultStorm is the fault subsystem's acceptance golden: the
+// fault-injected day must export byte-identical JSON and CSV at shards 1, 2,
+// and 4, and an obs-on run must reproduce the obs-off result bytes — crash
+// requeues, retry backoff, recovery, stale-telemetry fallback, and straggler
+// slowdowns all land on coordinator serial sections that shard counts and
+// observers don't reorder. Runs in -short (and under the CI race job via an
+// explicit step).
+func TestGoldenFaultStorm(t *testing.T) {
+	export := func(shards int, observe bool) (js, csv []byte) {
+		t.Helper()
+		cfg := goldenFaultConfig(shards)
+		if observe {
+			cfg.Obs = pliant.NewObserver(pliant.ObserverOptions{})
+		}
+		res, err := pliant.RunSched(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Crashes == 0 || res.Requeued == 0 {
+			t.Errorf("shards=%d: fault plan injected nothing (crashes=%d requeued=%d)",
+				shards, res.Crashes, res.Requeued)
+		}
+		var j, c bytes.Buffer
+		if err := pliant.WriteSchedResultJSON(&j, res); err != nil {
+			t.Fatal(err)
+		}
+		if err := pliant.WriteSchedTraceCSV(&c, res); err != nil {
+			t.Fatal(err)
+		}
+		return j.Bytes(), c.Bytes()
+	}
+	js1, csv1 := export(1, false)
+	if os.Getenv("PLIANT_GOLDEN") == "print" {
+		t.Logf("goldenFaultJSON = %q", sha(js1))
+		t.Logf("goldenFaultCSV  = %q", sha(csv1))
+		return
+	}
+	if got := sha(js1); got != goldenFaultJSON {
+		t.Errorf("fault-storm JSON hash = %s, golden %s", got, goldenFaultJSON)
+	}
+	if got := sha(csv1); got != goldenFaultCSV {
+		t.Errorf("fault-storm CSV hash = %s, golden %s", got, goldenFaultCSV)
+	}
+	for _, shards := range []int{2, 4} {
+		js, csv := export(shards, false)
+		if !bytes.Equal(js, js1) {
+			t.Errorf("shards=%d fault-storm JSON differs from single-engine bytes", shards)
+		}
+		if !bytes.Equal(csv, csv1) {
+			t.Errorf("shards=%d fault-storm CSV differs from single-engine bytes", shards)
+		}
+	}
+	jsObs, csvObs := export(1, true)
+	if !bytes.Equal(jsObs, js1) {
+		t.Error("obs-on fault-storm JSON differs from obs-off bytes (observation perturbed the run)")
+	}
+	if !bytes.Equal(csvObs, csv1) {
+		t.Error("obs-on fault-storm CSV differs from obs-off bytes")
+	}
+}
+
+// TestFaultRetryLedgerBalances is the recovery path's conservation property:
+// across crash storms far harsher than the golden plan — MTTF a fraction of
+// the horizon, repeated rack outages, a tight retry budget — no job may be
+// lost untracked or double-run. Every arrival is accounted exactly once
+// (placed, still pending, or lost after exhausting its budget), requeues
+// equal the jobs' summed retry counts, no job is both done and lost, and a
+// lost job never reports a node or completion.
+func TestFaultRetryLedgerBalances(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42, 1001} {
+		cfg := goldenFaultConfig(1)
+		cfg.Seed = seed
+		cfg.Faults = &pliant.FaultPlan{
+			MTTFSec:    15,
+			MTTRSec:    5,
+			DomainSize: 2,
+			Outages: []pliant.FaultOutage{
+				{AtSec: 12, Domain: 0, DurationSec: 10},
+				{AtSec: 30, Domain: 2, DurationSec: 12},
+			},
+			RetryBudget:     2,
+			RetryBackoffSec: 1,
+		}
+		res, err := pliant.RunSched(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Crashes == 0 || res.Requeued == 0 {
+			t.Fatalf("seed %d: storm injected nothing (crashes=%d requeued=%d)",
+				seed, res.Crashes, res.Requeued)
+		}
+		if got := res.Placed + res.Pending + res.JobsLost; got != res.Arrived {
+			t.Errorf("seed %d: ledger leak: placed %d + pending %d + lost %d = %d, arrived %d",
+				seed, res.Placed, res.Pending, res.JobsLost, got, res.Arrived)
+		}
+		if len(res.Jobs) != res.Arrived {
+			t.Errorf("seed %d: %d job outcomes for %d arrivals", seed, len(res.Jobs), res.Arrived)
+		}
+		retrySum, lost, seen := 0, 0, make(map[int]bool)
+		for _, j := range res.Jobs {
+			if seen[j.ID] {
+				t.Errorf("seed %d: job %d appears twice", seed, j.ID)
+			}
+			seen[j.ID] = true
+			retrySum += j.Retries
+			if j.Retries > cfg.Faults.RetryBudget {
+				t.Errorf("seed %d: job %d retried %d times, budget %d",
+					seed, j.ID, j.Retries, cfg.Faults.RetryBudget)
+			}
+			if j.Lost {
+				lost++
+				if j.Done || j.Node != "" {
+					t.Errorf("seed %d: lost job %d still reports done=%v node=%q",
+						seed, j.ID, j.Done, j.Node)
+				}
+			}
+		}
+		if retrySum != res.Requeued {
+			t.Errorf("seed %d: Σretries %d != requeued %d", seed, retrySum, res.Requeued)
+		}
+		if lost != res.JobsLost {
+			t.Errorf("seed %d: %d lost outcomes, result says %d", seed, lost, res.JobsLost)
 		}
 	}
 }

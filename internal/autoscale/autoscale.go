@@ -22,12 +22,16 @@ type State int
 // The lifecycle states. Transitions: Active→Draining (park requested while
 // jobs resident), Draining→Parked (last resident finished), Active→Parked
 // (park requested while empty), Parked→Waking (wake requested; costs the
-// model's wake energy), Waking→Active (after the wake delay).
+// model's wake energy), Waking→Active (after the wake delay). Fault
+// injection (internal/fault) adds any→Down (crash) and Down→Active
+// (recovery); controllers never enter or leave Down themselves — a crashed
+// node is dead hardware, not a parked one, so Wake verdicts ignore it.
 const (
 	Active State = iota
 	Draining
 	Parked
 	Waking
+	Down
 )
 
 // String names the state.
@@ -41,6 +45,8 @@ func (s State) String() string {
 		return "parked"
 	case Waking:
 		return "waking"
+	case Down:
+		return "down"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}
@@ -65,6 +71,11 @@ type NodeView struct {
 	// intervals informed it.
 	P99OverQoS float64
 	Reports    int
+
+	// Stale marks telemetry served from a last-known-good snapshot because
+	// the node's live feed dropped out (fault injection); the P99OverQoS and
+	// Reports above are frozen at the dropout instant, not current.
+	Stale bool
 }
 
 // View is the cluster snapshot a controller decides against.

@@ -507,7 +507,7 @@ func TestObsExperiment(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 15 {
+	if len(reg) != 16 {
 		t.Fatalf("registry has %d entries", len(reg))
 	}
 	ids := map[string]bool{}
@@ -543,5 +543,57 @@ func skipIfShort(t *testing.T) {
 	t.Helper()
 	if testing.Short() {
 		t.Skip("full-scale scenario; skipped in -short")
+	}
+}
+
+// TestFaultStorm is the robustness acceptance experiment: through a
+// correlated rack outage removing a quarter of capacity mid-peak,
+// degrade-under-loss must hold QoS-met busy node-windows within 10 points of
+// the no-fault run while first-fit-with-retries lands at least 25 points
+// below it, and no bundle may lose or double-run a job — the retry ledger
+// balances exactly.
+func TestFaultStorm(t *testing.T) {
+	skipIfShort(t)
+	res, err := FaultStorm(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want first-fit, telemetry, degrade-under-loss", len(res.Rows))
+	}
+	if res.NoFaultQoS <= 0 {
+		t.Fatalf("no-fault reference QoS = %.3f", res.NoFaultQoS)
+	}
+	dul, ff := res.RowFor("degrade-under-loss"), res.RowFor("first-fit")
+	if gap := (res.NoFaultQoS - dul.FaultedQoS) * 100; gap > 10 {
+		t.Errorf("degrade-under-loss %.1f QoS points below the no-fault run, want within 10", gap)
+	}
+	if gap := (res.NoFaultQoS - ff.FaultedQoS) * 100; gap < 25 {
+		t.Errorf("first-fit only %.1f QoS points below the no-fault run, want >= 25", gap)
+	}
+	for _, row := range res.Rows {
+		if row.Crashes == 0 {
+			t.Errorf("%s: outage injected no crashes", row.Bundle)
+		}
+		if row.JobsLost != 0 {
+			t.Errorf("%s: lost %d jobs", row.Bundle, row.JobsLost)
+		}
+		// The retry ledger: every arrival is placed, pending, or lost —
+		// nothing vanishes, nothing double-runs — and every requeue shows up
+		// as exactly one job retry.
+		if row.Arrived != row.Placed+row.Pending+row.JobsLost {
+			t.Errorf("%s: job ledger broken: %d arrived != %d placed + %d pending + %d lost",
+				row.Bundle, row.Arrived, row.Placed, row.Pending, row.JobsLost)
+		}
+		if row.RetrySum != row.Requeued {
+			t.Errorf("%s: retry ledger broken: requeued %d != retry sum %d",
+				row.Bundle, row.Requeued, row.RetrySum)
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"degrade-under-loss", "first-fit", "telemetry", "summary:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
 	}
 }

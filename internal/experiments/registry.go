@@ -31,6 +31,7 @@ func Registry() []Entry {
 		{"energy", "Energy extension: autoscaling and approximation-for-watts over a diurnal day", wrap(EnergyDiurnal)},
 		{"trace", "Trace extension: policies replayed on production-shaped cluster-trace arrivals", wrap(TraceReplay)},
 		{"obs", "Observability extension: deterministic decision trace and metrics over a diurnal day", wrap(ObsTrace)},
+		{"fault", "Fault extension: first-fit vs telemetry vs degrade-under-loss through a rack outage", wrap(FaultStorm)},
 	}
 }
 

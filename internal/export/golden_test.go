@@ -28,11 +28,13 @@ var (
 		"completed", "pending", "mean_wait_sec", "max_wait_sec",
 		"qos_met_frac", "mean_utilization", "mean_inaccuracy_pct",
 		"episodes", "joules", "mean_watts", "parked_node_windows",
-		"low_freq_node_windows", "wakes", "node_joules", "jobs",
+		"low_freq_node_windows", "wakes", "node_joules", "crashes",
+		"recoveries", "requeued", "jobs_lost", "down_node_windows",
+		"stale_node_windows", "straggler_node_windows", "jobs",
 	}
 	goldenScenarioCSVHeader = "t_seconds,p99,svc.cores,watts"
 	goldenSchedCSVHeader    = "t_seconds,queue.depth,utilization," +
-		"nodes.active,nodes.parked,p99.worst,qosmet,running,watts.cluster"
+		"nodes.active,nodes.down,nodes.parked,p99.worst,qosmet,running,watts.cluster"
 )
 
 // topLevelKeys walks a JSON document and returns its top-level object keys
@@ -94,7 +96,7 @@ func fullSchedResult() sched.Result {
 	tr := stats.NewTrace()
 	for _, s := range []string{
 		"queue.depth", "utilization", "running", "qosmet", "p99.worst",
-		"watts.cluster", "nodes.active", "nodes.parked",
+		"watts.cluster", "nodes.active", "nodes.parked", "nodes.down",
 	} {
 		tr.Series(s).Append(10, 1)
 	}
@@ -105,8 +107,10 @@ func fullSchedResult() sched.Result {
 		Episodes: 12, Joules: 50000, MeanWatts: 400, ParkedNodeWindows: 4,
 		LowFreqNodeWindows: 2, Wakes: 1,
 		NodeJoules: []sched.NodeEnergy{{Node: "n0", Joules: 50000}},
-		Jobs:       []sched.JobOutcome{{ID: 0, App: "canneal", Node: "n0"}},
-		Trace:      tr,
+		Crashes:    2, Recoveries: 1, Requeued: 3, JobsLost: 1,
+		DownNodeWindows: 5, StaleNodeWindows: 2, StragglerNodeWindows: 1,
+		Jobs:  []sched.JobOutcome{{ID: 0, App: "canneal", Node: "n0", Retries: 1, Lost: false}},
+		Trace: tr,
 	}
 }
 
@@ -212,6 +216,28 @@ func TestEnergyFreeDocumentsUnchanged(t *testing.T) {
 	for _, key := range []string{"joules", "mean_watts", "parked", "wakes"} {
 		if strings.Contains(buf.String(), key) {
 			t.Errorf("energy-free sched JSON contains %q", key)
+		}
+	}
+}
+
+// TestFaultFreeDocumentsUnchanged pins the same contract for fault
+// injection: without a fault plan, no fault key may appear — pre-fault
+// consumers see the exact pre-fault wire format.
+func TestFaultFreeDocumentsUnchanged(t *testing.T) {
+	sr := fullSchedResult()
+	sr.Crashes, sr.Recoveries, sr.Requeued, sr.JobsLost = 0, 0, 0, 0
+	sr.DownNodeWindows, sr.StaleNodeWindows, sr.StragglerNodeWindows = 0, 0, 0
+	sr.Jobs = []sched.JobOutcome{{ID: 0, App: "canneal", Node: "n0"}}
+	var buf bytes.Buffer
+	if err := WriteSchedResultJSON(&buf, sr); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"crashes", "recoveries", "requeued", "jobs_lost", "down_node_windows",
+		"stale_node_windows", "straggler_node_windows", "retries", "lost",
+	} {
+		if strings.Contains(buf.String(), `"`+key+`"`) {
+			t.Errorf("fault-free sched JSON contains %q", key)
 		}
 	}
 }

@@ -34,6 +34,16 @@ type schedResultJSON struct {
 	Wakes              int              `json:"wakes,omitempty"`
 	NodeJoules         []nodeJoulesJSON `json:"node_joules,omitempty"`
 
+	// Fault columns appear only when the run injected faults, so fault-free
+	// documents stay byte-identical across versions.
+	Crashes              int `json:"crashes,omitempty"`
+	Recoveries           int `json:"recoveries,omitempty"`
+	Requeued             int `json:"requeued,omitempty"`
+	JobsLost             int `json:"jobs_lost,omitempty"`
+	DownNodeWindows      int `json:"down_node_windows,omitempty"`
+	StaleNodeWindows     int `json:"stale_node_windows,omitempty"`
+	StragglerNodeWindows int `json:"straggler_node_windows,omitempty"`
+
 	Jobs []schedJobJSON `json:"jobs"`
 }
 
@@ -52,6 +62,8 @@ type schedJobJSON struct {
 	WaitSec    float64 `json:"wait_sec"`
 	Done       bool    `json:"done"`
 	Inaccuracy float64 `json:"inaccuracy_pct"`
+	Retries    int     `json:"retries,omitempty"`
+	Lost       bool    `json:"lost,omitempty"`
 }
 
 // WriteSchedResultJSON writes an online scheduling result as a single JSON
@@ -77,6 +89,14 @@ func WriteSchedResultJSON(w io.Writer, res sched.Result) error {
 		ParkedNodeWindows:  res.ParkedNodeWindows,
 		LowFreqNodeWindows: res.LowFreqNodeWindows,
 		Wakes:              res.Wakes,
+
+		Crashes:              res.Crashes,
+		Recoveries:           res.Recoveries,
+		Requeued:             res.Requeued,
+		JobsLost:             res.JobsLost,
+		DownNodeWindows:      res.DownNodeWindows,
+		StaleNodeWindows:     res.StaleNodeWindows,
+		StragglerNodeWindows: res.StragglerNodeWindows,
 	}
 	for _, ne := range res.NodeJoules {
 		out.NodeJoules = append(out.NodeJoules, nodeJoulesJSON{Node: ne.Node, Joules: ne.Joules})
@@ -92,6 +112,8 @@ func WriteSchedResultJSON(w io.Writer, res sched.Result) error {
 			WaitSec:    j.WaitSec,
 			Done:       j.Done,
 			Inaccuracy: j.Inaccuracy,
+			Retries:    j.Retries,
+			Lost:       j.Lost,
 		})
 	}
 	enc := json.NewEncoder(w)

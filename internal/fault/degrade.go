@@ -1,0 +1,62 @@
+package fault
+
+import "github.com/approx-sched/pliant/internal/autoscale"
+
+// DegradeUnderLoss is the graceful-degradation controller — the paper
+// tie-in of the fault subsystem. In normal operation it defers to Normal
+// (an energy-saving controller, approx-for-watts by default). When nodes
+// are down and the surviving placeable capacity no longer covers demand
+// (pending jobs plus residents), it funds the shortfall with the Pliant
+// knob instead of shedding jobs: every parked reserve node wakes, and every
+// surviving active node snaps to nominal frequency, so the densified
+// colocation lands on nodes whose approximation slack — jobs degrading
+// quality instead of service latency — absorbs the extra pressure. When the
+// failed capacity recovers (no node Down, or capacity again covers demand),
+// control snaps back to Normal and the energy optimization resumes.
+type DegradeUnderLoss struct {
+	// Normal handles the no-loss regime; nil defaults to
+	// autoscale.ApproxForWatts{}.
+	Normal autoscale.Controller
+}
+
+// Name identifies the policy.
+func (DegradeUnderLoss) Name() string { return "degrade-under-loss" }
+
+// normal resolves the no-loss controller.
+func (d DegradeUnderLoss) normal() autoscale.Controller {
+	if d.Normal != nil {
+		return d.Normal
+	}
+	return autoscale.ApproxForWatts{}
+}
+
+// Decide implements autoscale.Controller.
+func (d DegradeUnderLoss) Decide(v autoscale.View) []autoscale.Action {
+	down, demand, alive := 0, v.Pending, 0
+	for _, n := range v.Nodes {
+		demand += n.Resident
+		switch n.State {
+		case autoscale.Down:
+			down++
+		case autoscale.Active, autoscale.Waking:
+			alive += n.Slots
+		}
+	}
+	if down == 0 || alive >= demand {
+		return d.normal().Decide(v)
+	}
+
+	// Loss mode: capacity first, watts later. Wake everything parked and run
+	// every survivor at nominal — approximation, not job shedding, pays for
+	// the lost rack.
+	var acts []autoscale.Action
+	for _, n := range v.Nodes {
+		switch {
+		case n.State == autoscale.Parked:
+			acts = append(acts, autoscale.Action{Kind: autoscale.Wake, Node: n.Index})
+		case n.State == autoscale.Active && n.Freq != v.Nominal:
+			acts = append(acts, autoscale.Action{Kind: autoscale.SetFreq, Node: n.Index, Freq: v.Nominal})
+		}
+	}
+	return acts
+}

@@ -1,0 +1,318 @@
+// Package fault injects failures into the online scheduler, deterministically
+// and in virtual time — the robustness axis of the reproduction. Real
+// datacenter traces (the Google ClusterData streams internal/trace ingests)
+// are full of EVICT/FAIL/KILL events; this package turns those rates, or a
+// synthetic MTTF/MTTR model, into a compiled schedule of typed fault events
+// the scheduler applies on its serial coordinator sections, so fault-injected
+// runs stay byte-identical across shard counts.
+//
+// A Plan describes the fault processes: per-node crash/recover renewal
+// processes (exponential MTTF/MTTR), scripted correlated outages that take a
+// whole failure domain (a rack) down at once, telemetry-dropout windows
+// during which the scheduler sees a node's last-known-good snapshot instead
+// of live feedback, and straggler windows that degrade a node's effective
+// frequency. Compile expands the plan into a sorted event list before the
+// run starts; the scheduler consumes the list at window boundaries.
+//
+// Recovery semantics live in internal/sched: crashed nodes drop their
+// unfinished jobs back into the pending queue with a per-job retry budget and
+// exponential backoff in virtual time, and retried jobs are spread away from
+// the domain that failed them (anti-affinity). The DegradeUnderLoss
+// controller (degrade.go) closes the paper tie-in: when alive capacity drops
+// below demand, it funds the shortfall with the Pliant knob — waking every
+// reserve node and snapping survivors to nominal frequency so their
+// approximation slack absorbs the densified colocation — instead of shedding
+// jobs, and hands control back to its normal controller on recovery.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/approx-sched/pliant/internal/sim"
+)
+
+// EventKind discriminates compiled fault events.
+type EventKind uint8
+
+// The fault event kinds, in application order at equal instants: a recovery
+// precedes a crash at the same instant on the same node, so a zero-length
+// outage is a no-op rather than a permanent kill.
+const (
+	// Recover returns a Down node to Active (no-op on a live node).
+	Recover EventKind = iota
+	// Crash takes a node Down, requeueing its unfinished jobs (no-op on a
+	// node already Down).
+	Crash
+	// TelemetryStale freezes the scheduler's view of the node's telemetry at
+	// its current snapshot for DurSec.
+	TelemetryStale
+	// Straggle degrades the node's effective frequency by the plan's
+	// StragglerFactor for DurSec.
+	Straggle
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case Recover:
+		return "recover"
+	case Crash:
+		return "crash"
+	case TelemetryStale:
+		return "stale"
+	case Straggle:
+		return "straggle"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one compiled fault instant.
+type Event struct {
+	AtSec float64
+	Kind  EventKind
+	Node  int
+	// DurSec is the condition's length for TelemetryStale and Straggle
+	// events (crash/recover pairs are separate events).
+	DurSec float64
+}
+
+// Outage is one scripted correlated failure: every node of the domain
+// crashes at AtSec and recovers at AtSec+DurationSec.
+type Outage struct {
+	AtSec       float64
+	Domain      int
+	DurationSec float64
+}
+
+// Plan describes the fault processes of one run. The zero value injects
+// nothing; every process is opt-in.
+type Plan struct {
+	// MTTFSec is the per-node mean time to failure: each node crashes as an
+	// exponential renewal process with this mean (0 disables random crashes).
+	MTTFSec float64
+	// MTTRSec is the mean repair time of random crashes, exponential with a
+	// 1s floor (default 30 s when MTTFSec is set).
+	MTTRSec float64
+
+	// DomainSize groups consecutive nodes into correlated failure domains
+	// (racks): nodes [k·size, (k+1)·size) form domain k. 0 or 1 makes every
+	// node its own domain.
+	DomainSize int
+	// Outages are scripted correlated failures, applied on top of the random
+	// processes.
+	Outages []Outage
+
+	// StaleMTBFSec spaces per-node telemetry dropouts (exponential mean
+	// between onsets; 0 disables); each dropout lasts StaleDurSec (default
+	// one dropout span of 30 s).
+	StaleMTBFSec float64
+	StaleDurSec  float64
+
+	// StragglerMTBFSec spaces per-node straggler windows (0 disables); each
+	// lasts StragglerDurSec (default 30 s) and scales the node's effective
+	// frequency by StragglerFactor (default 0.5, must be in (0, 1)).
+	// Stragglers act through the frequency path, so they require the run to
+	// carry an energy model.
+	StragglerMTBFSec float64
+	StragglerDurSec  float64
+	StragglerFactor  float64
+
+	// RetryBudget is how many times a job lost to a crash is requeued before
+	// it is dropped as lost (default 3; negative means zero retries).
+	RetryBudget int
+	// RetryBackoffSec is the base of the exponential backoff a requeued job
+	// waits before it is offered again: backoff · 2^(retry-1) virtual
+	// seconds after the crash (default 5 s).
+	RetryBackoffSec float64
+
+	// Seed decorrelates the fault streams from the run's other randomness;
+	// it is mixed with the run seed, so the zero value is fine.
+	Seed uint64
+}
+
+// withDefaults resolves the defaulted knobs.
+func (p Plan) withDefaults() Plan {
+	if p.MTTFSec > 0 && p.MTTRSec == 0 {
+		p.MTTRSec = 30
+	}
+	if p.StaleMTBFSec > 0 && p.StaleDurSec == 0 {
+		p.StaleDurSec = 30
+	}
+	if p.StragglerMTBFSec > 0 {
+		if p.StragglerDurSec == 0 {
+			p.StragglerDurSec = 30
+		}
+		if p.StragglerFactor == 0 {
+			p.StragglerFactor = 0.5
+		}
+	}
+	if p.RetryBudget == 0 {
+		p.RetryBudget = 3
+	} else if p.RetryBudget < 0 {
+		p.RetryBudget = 0
+	}
+	if p.RetryBackoffSec == 0 {
+		p.RetryBackoffSec = 5
+	}
+	return p
+}
+
+// Retries resolves the per-job retry budget.
+func (p Plan) Retries() int { return p.withDefaults().RetryBudget }
+
+// BackoffSec returns the virtual-time backoff before a job's retry-th
+// re-offer (retry ≥ 1): exponential in the retry count.
+func (p Plan) BackoffSec(retry int) float64 {
+	base := p.withDefaults().RetryBackoffSec
+	return base * math.Pow(2, float64(retry-1))
+}
+
+// Factor returns the resolved straggler frequency factor (meaningful only
+// when straggler injection is enabled).
+func (p Plan) Factor() float64 { return p.withDefaults().StragglerFactor }
+
+// DomainOf maps a node index to its failure domain.
+func (p Plan) DomainOf(node int) int {
+	if p.DomainSize <= 1 {
+		return node
+	}
+	return node / p.DomainSize
+}
+
+// Domains returns how many failure domains cover n nodes.
+func (p Plan) Domains(n int) int {
+	if p.DomainSize <= 1 {
+		return n
+	}
+	return (n + p.DomainSize - 1) / p.DomainSize
+}
+
+// DomainNodes returns the node index range [lo, hi) of a domain, clipped to
+// the cluster size.
+func (p Plan) DomainNodes(domain, nodes int) (lo, hi int) {
+	size := p.DomainSize
+	if size <= 1 {
+		size = 1
+	}
+	lo = domain * size
+	hi = lo + size
+	if hi > nodes {
+		hi = nodes
+	}
+	if lo > nodes {
+		lo = nodes
+	}
+	return lo, hi
+}
+
+// Validate reports plan errors. hasEnergy states whether the run carries an
+// energy model — stragglers act through the frequency path and need one.
+func (p Plan) Validate(nodes int, hasEnergy bool) error {
+	d := p.withDefaults()
+	switch {
+	case d.MTTFSec < 0 || math.IsNaN(d.MTTFSec):
+		return fmt.Errorf("fault: MTTF %v must be non-negative", d.MTTFSec)
+	case d.MTTRSec < 0 || math.IsNaN(d.MTTRSec):
+		return fmt.Errorf("fault: MTTR %v must be non-negative", d.MTTRSec)
+	case d.DomainSize < 0:
+		return fmt.Errorf("fault: domain size %d must be non-negative", d.DomainSize)
+	case d.StaleMTBFSec < 0 || d.StaleDurSec < 0:
+		return fmt.Errorf("fault: staleness knobs must be non-negative")
+	case d.StragglerMTBFSec < 0 || d.StragglerDurSec < 0:
+		return fmt.Errorf("fault: straggler knobs must be non-negative")
+	case d.StragglerMTBFSec > 0 && (d.StragglerFactor <= 0 || d.StragglerFactor >= 1):
+		return fmt.Errorf("fault: straggler factor %v outside (0, 1)", d.StragglerFactor)
+	case d.StragglerMTBFSec > 0 && !hasEnergy:
+		return fmt.Errorf("fault: straggler injection needs an energy model (it acts through the frequency path)")
+	case d.RetryBackoffSec < 0 || math.IsNaN(d.RetryBackoffSec):
+		return fmt.Errorf("fault: retry backoff %v must be non-negative", d.RetryBackoffSec)
+	}
+	for i, o := range p.Outages {
+		switch {
+		case o.AtSec <= 0 || math.IsNaN(o.AtSec):
+			return fmt.Errorf("fault: outage %d at %v must be after t=0", i, o.AtSec)
+		case o.DurationSec <= 0 || math.IsNaN(o.DurationSec):
+			return fmt.Errorf("fault: outage %d duration %v must be positive", i, o.DurationSec)
+		case o.Domain < 0 || o.Domain >= p.Domains(nodes):
+			return fmt.Errorf("fault: outage %d targets domain %d of %d", i, o.Domain, p.Domains(nodes))
+		}
+	}
+	return nil
+}
+
+// Compile expands the plan into the run's sorted event schedule. Events are
+// a pure function of (runSeed, plan, nodes, horizonSec): per-node RNG
+// streams are split off the mixed seed, so the schedule never depends on
+// worker or shard counts, and equal configs reproduce it byte-for-byte.
+func (p Plan) Compile(runSeed uint64, nodes int, horizonSec float64) []Event {
+	d := p.withDefaults()
+	var events []Event
+	root := sim.NewRNG(sim.Mix64(runSeed ^ sim.Mix64(d.Seed+0x6661756c74)))
+
+	for n := 0; n < nodes; n++ {
+		if d.MTTFSec > 0 {
+			rng := root.Split(uint64(n)*4 + 1)
+			t := rng.Exp(d.MTTFSec)
+			for t < horizonSec {
+				events = append(events, Event{AtSec: t, Kind: Crash, Node: n})
+				repair := rng.Exp(d.MTTRSec)
+				if repair < 1 {
+					repair = 1
+				}
+				t += repair
+				if t >= horizonSec {
+					break
+				}
+				events = append(events, Event{AtSec: t, Kind: Recover, Node: n})
+				t += rng.Exp(d.MTTFSec)
+			}
+		}
+		if d.StaleMTBFSec > 0 {
+			rng := root.Split(uint64(n)*4 + 2)
+			t := rng.Exp(d.StaleMTBFSec)
+			for t < horizonSec {
+				events = append(events, Event{AtSec: t, Kind: TelemetryStale, Node: n, DurSec: d.StaleDurSec})
+				t += d.StaleDurSec + rng.Exp(d.StaleMTBFSec)
+			}
+		}
+		if d.StragglerMTBFSec > 0 {
+			rng := root.Split(uint64(n)*4 + 3)
+			t := rng.Exp(d.StragglerMTBFSec)
+			for t < horizonSec {
+				events = append(events, Event{AtSec: t, Kind: Straggle, Node: n, DurSec: d.StragglerDurSec})
+				t += d.StragglerDurSec + rng.Exp(d.StragglerMTBFSec)
+			}
+		}
+	}
+	for _, o := range d.Outages {
+		lo, hi := d.DomainNodes(o.Domain, nodes)
+		for n := lo; n < hi; n++ {
+			if o.AtSec >= horizonSec {
+				continue
+			}
+			events = append(events, Event{AtSec: o.AtSec, Kind: Crash, Node: n})
+			if end := o.AtSec + o.DurationSec; end < horizonSec {
+				events = append(events, Event{AtSec: end, Kind: Recover, Node: n})
+			}
+		}
+	}
+
+	// Total order on (instant, node, kind): the scheduler applies events in
+	// slice order, so the order itself must be a pure function of the plan.
+	// Recover sorts before Crash (kind order), making same-instant
+	// recover/crash pairs behave as documented on the kinds.
+	sort.Slice(events, func(a, b int) bool {
+		ea, eb := events[a], events[b]
+		if ea.AtSec != eb.AtSec {
+			return ea.AtSec < eb.AtSec
+		}
+		if ea.Node != eb.Node {
+			return ea.Node < eb.Node
+		}
+		return ea.Kind < eb.Kind
+	})
+	return events
+}

@@ -1,0 +1,315 @@
+package fault
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/approx-sched/pliant/internal/autoscale"
+	"github.com/approx-sched/pliant/internal/trace"
+)
+
+func TestPlanDefaults(t *testing.T) {
+	var p Plan
+	if got := p.Retries(); got != 3 {
+		t.Errorf("zero-plan retry budget = %d, want 3", got)
+	}
+	if got := (Plan{RetryBudget: -1}).Retries(); got != 0 {
+		t.Errorf("negative retry budget resolved to %d, want 0", got)
+	}
+	if got := (Plan{RetryBudget: 5}).Retries(); got != 5 {
+		t.Errorf("explicit retry budget resolved to %d, want 5", got)
+	}
+	// Exponential backoff doubles per retry off the 5s default base.
+	for retry, want := range map[int]float64{1: 5, 2: 10, 3: 20} {
+		if got := p.BackoffSec(retry); got != want {
+			t.Errorf("backoff(%d) = %v, want %v", retry, got, want)
+		}
+	}
+	if got := (Plan{RetryBackoffSec: 2}).BackoffSec(3); got != 8 {
+		t.Errorf("backoff(3) at base 2 = %v, want 8", got)
+	}
+	if got := (Plan{StragglerMTBFSec: 10}).Factor(); got != 0.5 {
+		t.Errorf("default straggler factor = %v, want 0.5", got)
+	}
+	if got := (Plan{MTTFSec: 100}).withDefaults().MTTRSec; got != 30 {
+		t.Errorf("default MTTR = %v, want 30", got)
+	}
+}
+
+func TestDomains(t *testing.T) {
+	p := Plan{DomainSize: 3}
+	if got := p.DomainOf(0); got != 0 {
+		t.Errorf("DomainOf(0) = %d", got)
+	}
+	if got := p.DomainOf(5); got != 1 {
+		t.Errorf("DomainOf(5) = %d, want 1", got)
+	}
+	if got := p.Domains(8); got != 3 {
+		t.Errorf("Domains(8) = %d, want 3 (last one ragged)", got)
+	}
+	if lo, hi := p.DomainNodes(2, 8); lo != 6 || hi != 8 {
+		t.Errorf("DomainNodes(2, 8) = [%d, %d), want ragged [6, 8)", lo, hi)
+	}
+	if lo, hi := p.DomainNodes(5, 8); lo != 8 || hi != 8 {
+		t.Errorf("DomainNodes(5, 8) = [%d, %d), want empty", lo, hi)
+	}
+	// Size 0 or 1: every node is its own domain.
+	solo := Plan{}
+	if got := solo.DomainOf(4); got != 4 {
+		t.Errorf("size-0 DomainOf(4) = %d", got)
+	}
+	if got := solo.Domains(4); got != 4 {
+		t.Errorf("size-0 Domains(4) = %d", got)
+	}
+	if lo, hi := solo.DomainNodes(2, 4); lo != 2 || hi != 3 {
+		t.Errorf("size-0 DomainNodes(2, 4) = [%d, %d)", lo, hi)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name      string
+		plan      Plan
+		hasEnergy bool
+		wantErr   string
+	}{
+		{"zero plan", Plan{}, false, ""},
+		{"full plan", Plan{MTTFSec: 100, MTTRSec: 10, DomainSize: 2,
+			Outages:      []Outage{{AtSec: 10, Domain: 1, DurationSec: 5}},
+			StaleMTBFSec: 50, StragglerMTBFSec: 50}, true, ""},
+		{"negative mttf", Plan{MTTFSec: -1}, false, "MTTF"},
+		{"nan mttr", Plan{MTTFSec: 1, MTTRSec: math.NaN()}, false, "MTTR"},
+		{"negative domain", Plan{DomainSize: -2}, false, "domain size"},
+		{"negative stale", Plan{StaleMTBFSec: -1}, false, "staleness"},
+		{"bad straggler factor", Plan{StragglerMTBFSec: 10, StragglerFactor: 1.5}, true, "factor"},
+		{"straggler sans energy", Plan{StragglerMTBFSec: 10}, false, "energy model"},
+		{"negative backoff", Plan{RetryBackoffSec: -1}, false, "backoff"},
+		{"outage at zero", Plan{Outages: []Outage{{AtSec: 0, DurationSec: 5}}}, false, "after t=0"},
+		{"outage no duration", Plan{Outages: []Outage{{AtSec: 5}}}, false, "duration"},
+		{"outage unknown domain", Plan{DomainSize: 2,
+			Outages: []Outage{{AtSec: 5, Domain: 9, DurationSec: 5}}}, false, "domain 9"},
+	}
+	for _, c := range cases {
+		err := c.plan.Validate(4, c.hasEnergy)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %v, want mention of %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+// TestCompileDeterministicAndOrdered pins the schedule contract: equal
+// (plan, seed, nodes, horizon) reproduce identical events; the slice is
+// totally ordered by (instant, node, kind); and the stream stays inside the
+// horizon.
+func TestCompileDeterministicAndOrdered(t *testing.T) {
+	p := Plan{
+		MTTFSec:          40,
+		MTTRSec:          5,
+		DomainSize:       2,
+		Outages:          []Outage{{AtSec: 30, Domain: 1, DurationSec: 20}},
+		StaleMTBFSec:     60,
+		StaleDurSec:      10,
+		StragglerMTBFSec: 70,
+		StragglerDurSec:  8,
+	}
+	ev := p.Compile(42, 6, 120)
+	if len(ev) == 0 {
+		t.Fatal("plan compiled to nothing")
+	}
+	if again := p.Compile(42, 6, 120); !reflect.DeepEqual(ev, again) {
+		t.Fatal("recompilation diverged")
+	}
+	if other := p.Compile(43, 6, 120); reflect.DeepEqual(ev, other) {
+		t.Fatal("run seed does not reach the fault streams")
+	}
+	if !sort.SliceIsSorted(ev, func(a, b int) bool {
+		if ev[a].AtSec != ev[b].AtSec {
+			return ev[a].AtSec < ev[b].AtSec
+		}
+		if ev[a].Node != ev[b].Node {
+			return ev[a].Node < ev[b].Node
+		}
+		return ev[a].Kind < ev[b].Kind
+	}) {
+		t.Error("events not ordered by (instant, node, kind)")
+	}
+	kinds := map[EventKind]int{}
+	for _, e := range ev {
+		kinds[e.Kind]++
+		if e.AtSec < 0 || e.AtSec >= 120 && e.Kind != Recover {
+			t.Errorf("event %+v outside the horizon", e)
+		}
+		if e.Node < 0 || e.Node >= 6 {
+			t.Errorf("event %+v targets an unknown node", e)
+		}
+	}
+	for _, k := range []EventKind{Recover, Crash, TelemetryStale, Straggle} {
+		if kinds[k] == 0 {
+			t.Errorf("no %v events compiled", k)
+		}
+	}
+	// The scripted outage expands over both nodes of domain 1.
+	for _, n := range []int{2, 3} {
+		crash, recover := false, false
+		for _, e := range ev {
+			if e.Node == n && e.AtSec == 30 && e.Kind == Crash {
+				crash = true
+			}
+			if e.Node == n && e.AtSec == 50 && e.Kind == Recover {
+				recover = true
+			}
+		}
+		if !crash || !recover {
+			t.Errorf("node %d missing its outage pair (crash=%v recover=%v)", n, crash, recover)
+		}
+	}
+}
+
+// TestCompileRecoverSortsBeforeCrash pins the same-instant tie-break that
+// makes a zero-length outage a no-op instead of a permanent kill.
+func TestCompileRecoverSortsBeforeCrash(t *testing.T) {
+	p := Plan{Outages: []Outage{
+		{AtSec: 10, Domain: 0, DurationSec: 10}, // recovers at 20...
+		{AtSec: 20, Domain: 0, DurationSec: 10}, // ...as the next one crashes
+	}}
+	ev := p.Compile(1, 1, 100)
+	for i := 1; i < len(ev); i++ {
+		if ev[i].AtSec == ev[i-1].AtSec && ev[i].Node == ev[i-1].Node &&
+			ev[i-1].Kind == Crash && ev[i].Kind == Recover {
+			t.Fatalf("crash sorted before same-instant recover: %+v then %+v", ev[i-1], ev[i])
+		}
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		Recover: "recover", Crash: "crash", TelemetryStale: "stale",
+		Straggle: "straggle", EventKind(9): "event(9)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+// degradeView builds a cluster snapshot for the controller tests: node 0
+// active at low frequency, node 1 parked, node 2 down.
+func degradeView(pending int) autoscale.View {
+	return autoscale.View{
+		NowSec:  10,
+		Pending: pending,
+		Nominal: 2,
+		Nodes: []autoscale.NodeView{
+			{Index: 0, State: autoscale.Active, Resident: 2, Slots: 3, Freq: 0},
+			{Index: 1, State: autoscale.Parked, Slots: 3, Freq: 2},
+			{Index: 2, State: autoscale.Down, Slots: 3, Freq: 2},
+		},
+	}
+}
+
+// recorderController captures whether the normal controller was consulted.
+type recorderController struct{ called *bool }
+
+func (recorderController) Name() string { return "recorder" }
+
+func (c recorderController) Decide(autoscale.View) []autoscale.Action {
+	*c.called = true
+	return nil
+}
+
+func TestDegradeUnderLossDecide(t *testing.T) {
+	var consulted bool
+	d := DegradeUnderLoss{Normal: recorderController{&consulted}}
+
+	// Covered demand (2 residents + 1 pending ≤ 3 alive slots): defer to the
+	// normal controller even with a node down.
+	if acts := d.Decide(degradeView(1)); acts != nil || !consulted {
+		t.Errorf("covered demand: acts=%v consulted=%v, want nil/true", acts, consulted)
+	}
+
+	// Shortfall (2 residents + 4 pending > 3 alive slots): wake the reserve
+	// and snap the slow survivor to nominal; the normal controller stays out.
+	consulted = false
+	acts := d.Decide(degradeView(4))
+	if consulted {
+		t.Error("loss mode still consulted the normal controller")
+	}
+	want := []autoscale.Action{
+		{Kind: autoscale.SetFreq, Node: 0, Freq: 2},
+		{Kind: autoscale.Wake, Node: 1},
+	}
+	sort.Slice(acts, func(a, b int) bool { return acts[a].Node < acts[b].Node })
+	if !reflect.DeepEqual(acts, want) {
+		t.Errorf("loss-mode actions = %+v, want %+v", acts, want)
+	}
+
+	// No node down: normal regime regardless of backlog.
+	consulted = false
+	v := degradeView(100)
+	v.Nodes[2].State = autoscale.Active
+	if d.Decide(v); !consulted {
+		t.Error("no-loss view bypassed the normal controller")
+	}
+
+	if got := d.Name(); got != "degrade-under-loss" {
+		t.Errorf("Name() = %q", got)
+	}
+	// Nil Normal defaults to approx-for-watts rather than crashing.
+	if (DegradeUnderLoss{}).normal() == nil {
+		t.Error("nil Normal resolved to nil")
+	}
+}
+
+func TestFromTrace(t *testing.T) {
+	raw := trace.Synthesize(trace.SynthConfig{
+		Format: trace.Google, Jobs: 100, SpanSec: 600, Seed: 7, FailureFrac: 0.3,
+	})
+	tr, err := trace.Parse(bytes.NewReader(raw), trace.Google)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := FromTrace(tr, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMTTF := 120 / tr.FailureFrac()
+	if p.MTTFSec != wantMTTF {
+		t.Errorf("MTTF = %v, want horizon/failure-frac = %v", p.MTTFSec, wantMTTF)
+	}
+	if p.MTTRSec != 5 {
+		t.Errorf("MTTR = %v, want horizon/24 = 5", p.MTTRSec)
+	}
+	if err := p.Validate(4, false); err != nil {
+		t.Errorf("derived plan does not validate: %v", err)
+	}
+
+	// Short horizons floor the repair time at one second.
+	if p, err := FromTrace(tr, 12); err != nil || p.MTTRSec != 1 {
+		t.Errorf("short-horizon MTTR = %v (err %v), want floored 1", p.MTTRSec, err)
+	}
+
+	if _, err := FromTrace(nil, 120); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, err := FromTrace(tr, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	clean := trace.Synthesize(trace.SynthConfig{Format: trace.Google, Jobs: 50, SpanSec: 600, Seed: 7})
+	ctr, err := trace.Parse(bytes.NewReader(clean), trace.Google)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromTrace(ctr, 120); err == nil {
+		t.Error("failure-free trace yielded a plan; -trace-faults would silently inject nothing")
+	}
+}

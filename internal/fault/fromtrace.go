@@ -1,0 +1,38 @@
+package fault
+
+import (
+	"fmt"
+
+	"github.com/approx-sched/pliant/internal/trace"
+)
+
+// FromTrace derives a fault plan from a production trace's terminal-cause
+// census: the per-job odds of a failure-shaped terminal (EVICT/FAIL/KILL/
+// LOST) become each node's expected crash count over the replayed horizon.
+// A trace whose jobs fail 20% of the time yields MTTF = horizon/0.2 — every
+// node fails 0.2 times in expectation over the day, so the cluster as a
+// whole sees the trace's failure pressure. MTTR defaults to 1/24 of the
+// horizon (an "hour" of the compressed day), floored at one scheduling-
+// window-scale second. The retry knobs keep their plan defaults.
+//
+// An error is returned when no job terminated inside the trace window or
+// none failed — there is no rate to replay, and silently injecting nothing
+// would let a -trace-faults run masquerade as fault-tested.
+func FromTrace(tr *trace.Trace, horizonSec float64) (Plan, error) {
+	if tr == nil || horizonSec <= 0 {
+		return Plan{}, fmt.Errorf("fault: trace-derived plan needs a trace and a positive horizon")
+	}
+	frac := tr.FailureFrac()
+	if frac <= 0 {
+		return Plan{}, fmt.Errorf("fault: trace %q carries no failure-shaped terminals (%d terminated, %d failed)",
+			tr.Source, tr.Causes.Terminated(), tr.Causes.Failures())
+	}
+	mttr := horizonSec / 24
+	if mttr < 1 {
+		mttr = 1
+	}
+	return Plan{
+		MTTFSec: horizonSec / frac,
+		MTTRSec: mttr,
+	}, nil
+}

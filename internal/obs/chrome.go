@@ -19,8 +19,9 @@ type TraceMeta struct {
 // by a test on the sched side); obs stays import-free of the scheduler
 // stack so any subsystem can adopt the tracer.
 var (
-	lifecycleNames = []string{"active", "draining", "parked", "waking"}
+	lifecycleNames = []string{"active", "draining", "parked", "waking", "down"}
 	actionNames    = []string{"park", "wake", "setfreq"}
+	faultNames     = []string{"recover", "crash", "stale", "straggle"}
 )
 
 func nameOf(table []string, i int64) string {
@@ -109,6 +110,10 @@ func WriteChromeTrace(w io.Writer, t *Tracer, meta TraceMeta) error {
 			emit(fmt.Sprintf(`{"name":"trace ingest","cat":"replay","ph":"i","s":"p","ts":%s,"pid":1,"tid":%d,`+
 				`"args":{"dropped_rows":%d,"defaulted_durations":%d,"jobs":%d}}`,
 				ts(r.At), schedLane, r.A, r.B, r.C))
+		case KindFault:
+			emit(fmt.Sprintf(`{"name":%q,"cat":"fault","ph":"i","s":"t","ts":%s,"pid":1,"tid":%d,`+
+				`"args":{"window":%d,"payload":%d}}`,
+				nameOf(faultNames, r.A), ts(r.At), r.Node, r.Window, r.B))
 		}
 	})
 	if err != nil {

@@ -36,6 +36,12 @@ const (
 	// emitted once at run start. Node is unused (-1). A = rows dropped at
 	// parse time, B = rows whose duration was defaulted, C = jobs replayed.
 	KindReplayDrop
+
+	// KindFault is one applied fault-injection event. Node is the subject.
+	// A = the event kind (fault.EventKind numeric value), B = kind-specific:
+	// jobs requeued for a crash, condition length in virtual ms for a
+	// telemetry dropout or straggler window, 0 for a recovery.
+	KindFault
 )
 
 // String names the kind for renderers.
@@ -53,13 +59,15 @@ func (k Kind) String() string {
 		return "lifecycle"
 	case KindReplayDrop:
 		return "replay-drop"
+	case KindFault:
+		return "fault"
 	default:
 		return "unknown"
 	}
 }
 
 // kindCount sizes per-kind counters (largest kind value + 1).
-const kindCount = int(KindReplayDrop) + 1
+const kindCount = int(KindFault) + 1
 
 // Record is one fixed-size tracer entry. The struct stays flat (no pointers,
 // no strings) so a ring of them never allocates on the record path and the

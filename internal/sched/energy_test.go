@@ -7,6 +7,7 @@ import (
 	"github.com/approx-sched/pliant/internal/autoscale"
 	"github.com/approx-sched/pliant/internal/cluster"
 	"github.com/approx-sched/pliant/internal/energy"
+	"github.com/approx-sched/pliant/internal/fault"
 	"github.com/approx-sched/pliant/internal/platform"
 	"github.com/approx-sched/pliant/internal/service"
 	"github.com/approx-sched/pliant/internal/sim"
@@ -334,6 +335,116 @@ func TestWakingNodeChargedWakeEnergyOnce(t *testing.T) {
 	if diff := got - resFree.NodeJoules[1].Joules - m.WakeJ; diff > 1e-6 || diff < -1e-6 {
 		t.Errorf("wake energy charged %v J more than a free-wake run, want exactly %v J",
 			got-resFree.NodeJoules[1].Joules, m.WakeJ)
+	}
+}
+
+// TestCrashedWakingNodeSettlesLedgerOnce pins the energy side of a crash
+// landing mid-wake, alongside TestWakingNodeChargedWakeEnergyOnce: node 1 is
+// parked at t=10, woken at t=30 (WakeDelay 25s → placeable at t=55), and an
+// outage kills it at t=40, squarely inside the waking span, until t=65. The
+// ledger must settle exactly once: idle-floor watts up to the crash instant,
+// nothing while down, an idle tail from the recovery instant, and the wake
+// energy charged at the original Wake action only — recovery boots the node
+// inside its MTTR without a second WakeJ, and the pending wake completion at
+// t=55 must not resurrect the dead node.
+func TestCrashedWakingNodeSettlesLedgerOnce(t *testing.T) {
+	m := energy.ModelFor(platform.TablePlatform())
+	m.WakeDelay = 25 * sim.Second
+	cfg := wakingConfig(&m)
+	// No job ever arrives: node 1's whole ledger is analytic.
+	cfg.Arrivals = burstArrivals{quietSec: 1e6, gapSec: 1}
+	cfg.Faults = &fault.Plan{Outages: []fault.Outage{{AtSec: 40, Domain: 1, DurationSec: 25}}}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Wakes != 1 || res.Crashes != 1 || res.Recoveries != 1 {
+		t.Fatalf("wakes=%d crashes=%d recoveries=%d, want 1/1/1",
+			res.Wakes, res.Crashes, res.Recoveries)
+	}
+	// Down across windows [40,50), [50,60), [60,70) — the boundary census at
+	// t=70 runs after the recovery at t=65 lands, so only three windows count.
+	if res.DownNodeWindows != 3 {
+		t.Errorf("down node-windows = %d, want 3", res.DownNodeWindows)
+	}
+	if res.ParkedNodeWindows != 2 {
+		t.Errorf("parked node-windows = %d, want 2", res.ParkedNodeWindows)
+	}
+	// Ledger: active-idle [0,10) and [70,90), parked [10,30), waking at the
+	// idle floor from t=30 to the crash at t=40, dark while down, and the
+	// idle tail [65,70) after the recovery instant, plus one wake charge.
+	util := 0.65 * m.SlowdownAt(m.Nominal())
+	if util > 1 {
+		util = 1
+	}
+	solo := m.PowerAt(util, m.Nominal())
+	want := 3*solo*10 + m.ParkedW*20 + m.IdleW*(10+5) + m.WakeJ
+	got := res.NodeJoules[1].Joules
+	if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("crashed waking node ledger = %v J, want %v J (Δ=%v)", got, want, diff)
+	}
+
+	// Free-wake comparison: through the whole crash/recover cycle the ledgers
+	// must differ by exactly one wake energy — recovery charged no second one.
+	free := m
+	free.WakeJ = 0
+	cfgFree := wakingConfig(&free)
+	cfgFree.Arrivals = burstArrivals{quietSec: 1e6, gapSec: 1}
+	cfgFree.Faults = cfg.Faults
+	resFree, err := Run(cfgFree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := got - resFree.NodeJoules[1].Joules - m.WakeJ; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("crash/recover cycle charged %v J of wake energy, want exactly %v J once",
+			got-resFree.NodeJoules[1].Joules, m.WakeJ)
+	}
+}
+
+// TestCrashedDrainingNodeDrawsNoParkedWatts pins the other lifecycle corner:
+// a crash landing on a Draining node requeues the residents it was draining
+// and must not let the dead node fall through to Parked — a down node draws
+// nothing, not the parked floor. The proof is a paired run with the parked
+// draw doubled: since node 0 never parks and node 1 dies mid-drain, not one
+// parked watt may appear anywhere, so the totals must match bit for bit.
+func TestCrashedDrainingNodeDrawsNoParkedWatts(t *testing.T) {
+	m := energy.ModelFor(platform.TablePlatform())
+	run := func(model *energy.Model) Result {
+		t.Helper()
+		cfg := wakingConfig(model)
+		// Steady 1 job/s flood keeps residents on node 1 when the park order
+		// arrives at t=20, so the node is Draining — not Parked — when the
+		// outage kills it at t=30.
+		cfg.Arrivals = burstArrivals{quietSec: 0, gapSec: 1}
+		cfg.Autoscaler = scriptedLifecycle{node: 1, parkAt: 20, wakeAt: 1e9}
+		cfg.Faults = &fault.Plan{Outages: []fault.Outage{{AtSec: 30, Domain: 1, DurationSec: 30}}}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run(&m)
+	if res.Crashes != 1 || res.Recoveries != 1 {
+		t.Fatalf("crashes=%d recoveries=%d, want 1/1", res.Crashes, res.Recoveries)
+	}
+	// Requeued residents prove the node was still draining when it died: a
+	// node that had finished draining would have parked empty.
+	if res.Requeued+res.JobsLost == 0 {
+		t.Fatal("crash requeued nothing; the node had already drained and the scenario lost its teeth")
+	}
+	if res.Wakes != 0 {
+		t.Errorf("wakes = %d, want 0 (recovery must not charge a wake)", res.Wakes)
+	}
+	if res.ParkedNodeWindows != 0 {
+		t.Errorf("parked node-windows = %d, want 0", res.ParkedNodeWindows)
+	}
+	expensive := m
+	expensive.ParkedW *= 2
+	res2 := run(&expensive)
+	if res.Joules != res2.Joules {
+		t.Errorf("doubling ParkedW moved the total: %v J vs %v J — a dead node drew parked watts",
+			res.Joules, res2.Joules)
 	}
 }
 

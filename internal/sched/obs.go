@@ -11,6 +11,7 @@ package sched
 
 import (
 	"github.com/approx-sched/pliant/internal/autoscale"
+	"github.com/approx-sched/pliant/internal/fault"
 	"github.com/approx-sched/pliant/internal/obs"
 	"github.com/approx-sched/pliant/internal/sim"
 )
@@ -29,12 +30,17 @@ type schedMetrics struct {
 	freqSteps     *obs.Counter
 	joules        *obs.Counter
 	dropsReplayed *obs.Counter
+	crashes       *obs.Counter
+	recoveries    *obs.Counter
+	jobsRequeued  *obs.Counter
+	jobsLost      *obs.Counter
 
 	queueDepth  *obs.Gauge
 	running     *obs.Gauge
 	utilization *obs.Gauge
 	nodesActive *obs.Gauge
 	nodesParked *obs.Gauge
+	nodesDown   *obs.Gauge
 
 	jobWait    *obs.Histogram
 	p99OverQoS *obs.Histogram
@@ -83,6 +89,13 @@ func (s *run) initObs() {
 		if s.cfg.Trace != nil {
 			m.dropsReplayed = r.Counter("pliant_trace_rows_dropped_total", "Trace rows dropped at ingestion.")
 			m.dropsReplayed.Add(float64(s.cfg.Trace.Dropped))
+		}
+		if s.cfg.Faults != nil {
+			m.crashes = r.Counter("pliant_faults_crashes_total", "Node crash events applied.")
+			m.recoveries = r.Counter("pliant_faults_recoveries_total", "Node recovery events applied.")
+			m.jobsRequeued = r.Counter("pliant_jobs_requeued_total", "Jobs thrown back to pending by a crash.")
+			m.jobsLost = r.Counter("pliant_jobs_lost_total", "Jobs dropped past their retry budget.")
+			m.nodesDown = r.Gauge("pliant_nodes_down", "Nodes down at the window boundary.")
 		}
 	}
 	if o.Tracer != nil && s.cfg.Trace != nil {
@@ -220,6 +233,41 @@ func (s *run) obsEnergyWindow(windowJ float64, active, parked int) {
 		m.joules.Add(windowJ)
 		m.nodesActive.Set(float64(active))
 		m.nodesParked.Set(float64(parked))
+	}
+}
+
+// obsFault records one applied fault event. payload is kind-specific: jobs
+// requeued for a crash, condition length in virtual ms for a dropout or
+// straggler window.
+func (s *run) obsFault(now sim.Time, ev fault.Event, payload int64) {
+	if t := s.obsTracer(); t != nil {
+		t.Emit(obs.Record{
+			At: int64(now), Kind: obs.KindFault, Node: int32(ev.Node), Window: int32(s.window),
+			A: int64(ev.Kind), B: payload,
+		})
+	}
+	if m := &s.metrics; m.crashes != nil {
+		switch ev.Kind {
+		case fault.Crash:
+			m.crashes.Inc()
+			m.jobsRequeued.Add(float64(payload))
+		case fault.Recover:
+			m.recoveries.Inc()
+		}
+	}
+}
+
+// obsFaultWindow sets the boundary's down-node census gauge.
+func (s *run) obsFaultWindow(down int) {
+	if m := &s.metrics; m.nodesDown != nil {
+		m.nodesDown.Set(float64(down))
+	}
+}
+
+// obsJobLost counts one job dropped past its retry budget.
+func (s *run) obsJobLost() {
+	if s.metrics.jobsLost != nil {
+		s.metrics.jobsLost.Inc()
 	}
 }
 

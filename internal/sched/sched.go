@@ -30,6 +30,7 @@ import (
 	"github.com/approx-sched/pliant/internal/cluster"
 	"github.com/approx-sched/pliant/internal/colocate"
 	"github.com/approx-sched/pliant/internal/energy"
+	"github.com/approx-sched/pliant/internal/fault"
 	"github.com/approx-sched/pliant/internal/obs"
 	"github.com/approx-sched/pliant/internal/sim"
 	"github.com/approx-sched/pliant/internal/stats"
@@ -61,8 +62,20 @@ type Job struct {
 	Done       bool
 	Inaccuracy float64
 
+	// Retries counts how many times a node crash threw the job back into
+	// the pending queue; Lost marks a job dropped after exhausting its retry
+	// budget (fault injection only).
+	Retries int
+	Lost    bool
+
 	// remaining is the fraction of the job's nominal work still to run.
 	remaining float64
+
+	// retryAtSec is the virtual instant before which a requeued job is not
+	// re-offered (crash-retry backoff); lastDomain is the failure domain
+	// that crashed it, for anti-affinity spread (-1 when never crashed).
+	retryAtSec float64
+	lastDomain int
 }
 
 // WaitSec returns the time the job spent queued before starting, or its age
@@ -96,6 +109,10 @@ type NodeState struct {
 	// FreqState is the node's frequency-state index into the energy model's
 	// ladder (0 until an energy model is attached).
 	FreqState int
+	// TelemetryStale marks Telemetry as a last-known-good snapshot: the
+	// node's live feed dropped out (fault injection) and the values are
+	// frozen at the dropout instant.
+	TelemetryStale bool
 }
 
 // Config describes one online scheduling run.
@@ -179,6 +196,17 @@ type Config struct {
 	// Requires Energy; nil keeps every node active at nominal frequency.
 	Autoscaler autoscale.Controller
 
+	// Faults attaches a fault-injection plan (internal/fault): node
+	// crash/recover processes, scripted correlated outages, telemetry
+	// dropout, and straggler windows, compiled into a deterministic event
+	// schedule before the run starts and applied on the coordinator's serial
+	// sections — so fault-injected runs stay byte-identical across shard
+	// counts. Crashed nodes requeue their unfinished jobs with the plan's
+	// retry budget and backoff; stragglers require Energy (they act through
+	// the frequency path). Nil keeps all fault machinery off and results
+	// byte-identical to prior versions.
+	Faults *fault.Plan
+
 	// Obs attaches the observability layer (internal/obs): a virtual-time
 	// decision tracer, a metrics registry snapshotted at every window
 	// boundary, and a wall-clock shard profiler. Every record and metric is
@@ -261,6 +289,11 @@ func (c Config) Validate() error {
 			return err
 		}
 	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(len(c.Nodes), c.Energy != nil); err != nil {
+			return err
+		}
+	}
 	for i, n := range c.Nodes {
 		if n.MaxApps < 1 {
 			return fmt.Errorf("sched: node %d (%s) needs MaxApps ≥ 1", i, n.Name)
@@ -285,6 +318,11 @@ type JobOutcome struct {
 	WaitSec    float64
 	Done       bool
 	Inaccuracy float64 // percent, final only when Done
+
+	// Retries counts crash-driven requeues; Lost marks a job dropped after
+	// exhausting its retry budget. Zero/false without fault injection.
+	Retries int
+	Lost    bool
 }
 
 // Result aggregates one online scheduling run.
@@ -332,6 +370,20 @@ type Result struct {
 	// NodeJoules breaks the energy down per node, in node order.
 	NodeJoules []NodeEnergy
 
+	// Fault counters, all zero unless Config.Faults was set: crash and
+	// recovery events applied, crash-driven job requeues, jobs dropped past
+	// their retry budget, and boundary node-window censuses of nodes down,
+	// telemetry-stale, and straggling. The retry ledger balances by
+	// construction: Arrived = Placed + Pending + JobsLost, and Requeued sums
+	// every job's Retries.
+	Crashes              int
+	Recoveries           int
+	Requeued             int
+	JobsLost             int
+	DownNodeWindows      int
+	StaleNodeWindows     int
+	StragglerNodeWindows int
+
 	Jobs []JobOutcome
 
 	// Trace records the cluster-horizon series: "queue.depth",
@@ -369,6 +421,13 @@ type nodeRT struct {
 	freq   int
 	wakeAt sim.Time
 	joules float64
+
+	// Fault state (meaningful only with Config.Faults): the scheduler's
+	// last-known-good telemetry snapshot served while the live feed is stale
+	// (until staleUntil), and the end of the node's straggler window.
+	lastGood      cluster.Telemetry
+	staleUntil    float64
+	straggleUntil float64
 }
 
 // run carries one executing schedule.
@@ -397,6 +456,9 @@ type run struct {
 	// shards is the sharded multi-engine runtime (nil on the single-engine
 	// path, cfg.Shards <= 1).
 	shards *shardGroup
+
+	// faults is the fault-injection runtime (nil without Config.Faults).
+	faults *faultRT
 
 	// Energy counters (active only with cfg.Energy).
 	parkedWindows  int
@@ -437,6 +499,9 @@ func Run(cfg Config) (Result, error) {
 	for _, n := range cfg.Nodes {
 		s.nodes = append(s.nodes, &nodeRT{node: n, state: autoscale.Active, freq: nominalFreq})
 		s.slots += n.MaxApps
+	}
+	if cfg.Faults != nil {
+		s.faults = newFaultRT(cfg)
 	}
 	if cfg.Shards > 1 {
 		// Sharded multi-engine runs own one scratch per shard; the worker
@@ -519,6 +584,7 @@ func (s *run) arrive() {
 		FinishSec:  -1,
 		Node:       -1,
 		remaining:  1,
+		lastDomain: -1,
 	}
 	s.jobs = append(s.jobs, j)
 	s.pending = append(s.pending, j)
@@ -535,6 +601,7 @@ func (s *run) boundary(now sim.Time) {
 		return
 	}
 	epBefore := s.episodes
+	s.faultPrep(now)
 	s.simulateWindow(now)
 	if s.err != nil {
 		return
@@ -582,6 +649,7 @@ func (s *run) autoscale(now sim.Time) {
 		Nominal: s.cfg.Energy.Nominal(),
 	}
 	for i, n := range s.nodes {
+		tel, stale := s.viewTelemetry(i, now.Seconds())
 		view.Nodes = append(view.Nodes, autoscale.NodeView{
 			Index:      i,
 			State:      n.state,
@@ -589,8 +657,9 @@ func (s *run) autoscale(now sim.Time) {
 			Resident:   len(n.resident),
 			Slots:      n.node.MaxApps,
 			Freq:       n.freq,
-			P99OverQoS: n.tel.P99OverQoS,
-			Reports:    n.tel.Reports,
+			P99OverQoS: tel.P99OverQoS,
+			Reports:    tel.Reports,
+			Stale:      stale,
 		})
 	}
 	for _, act := range s.cfg.Autoscaler.Decide(view) {
@@ -687,6 +756,22 @@ func (s *run) runEpisode(i int, winStart float64, scratch *colocate.Scratch) epi
 		nr.EnergyModel = s.cfg.Energy
 		nr.FreqGHz = s.cfg.Energy.FreqAt(n.freq)
 	}
+	if f := s.faults; f != nil {
+		if at := f.crashAt[i]; at >= 0 {
+			// The node dies mid-window: truncate its episode at the crash
+			// instant (floored at a millisecond for a boundary-adjacent crash).
+			d := at - winStart
+			if d < 1e-3 {
+				d = 1e-3
+			}
+			nr.MaxDuration = sim.Duration(d * float64(sim.Second))
+		}
+		if n.straggleUntil > winStart {
+			// Straggler: degraded effective frequency. Only reachable with an
+			// energy model (Plan.Validate enforces), so FreqGHz is set.
+			nr.FreqGHz *= f.plan.Factor()
+		}
+	}
 	res, err := cluster.RunNode(nr)
 	return episode{apps: res.Apps, tel: tel, joules: res.Joules, span: res.Duration, err: err}
 }
@@ -697,18 +782,25 @@ func (s *run) runEpisode(i int, winStart float64, scratch *colocate.Scratch) epi
 // the owning shard may fold concurrently with other shards.
 func (s *run) foldEpisode(i int, ep *episode, winStart float64, ws *cluster.WindowStats) {
 	n := s.nodes[i]
+	crashed := s.faults != nil && s.faults.crashAt[i] >= 0
 	keep := n.resident[:0]
 	for j, job := range n.resident {
 		ar := ep.apps[j]
-		// Episode inaccuracy is relative to the episode's (remaining)
-		// work; weight it back to whole-job terms.
-		job.Inaccuracy += ar.Inaccuracy * job.remaining
 		if ar.Done {
+			// Episode inaccuracy is relative to the episode's (remaining)
+			// work; weight it back to whole-job terms.
+			job.Inaccuracy += ar.Inaccuracy * job.remaining
 			job.Done = true
 			job.FinishSec = winStart + ar.ExecTime.Seconds()
 			job.remaining = 0
 		} else {
-			job.remaining *= 1 - ar.Progress
+			if !crashed {
+				job.Inaccuracy += ar.Inaccuracy * job.remaining
+				job.remaining *= 1 - ar.Progress
+			}
+			// On a crashed node the unfinished jobs' work since the window
+			// start is lost with the node — progress and inaccuracy roll back;
+			// applyFaults requeues (or drops) them right after this fold.
 			keep = append(keep, job)
 		}
 	}
@@ -783,6 +875,11 @@ func (s *run) simulateWindow(now sim.Time) {
 	s.obsEpisodes(now, busyIdx)
 	s.episodes += ws.Busy
 
+	// Fault events due in the elapsed window mutate cluster state here, on
+	// the coordinator, after the merge barrier — the same serial section on
+	// both execution paths, so fault-injected runs stay shard-invariant.
+	s.applyFaults(now)
+
 	// A node with no residents — idle all window, or just emptied by the
 	// completions above — is its service running alone: it meets QoS by
 	// construction, so it sheds any violation telemetry rather than
@@ -817,33 +914,71 @@ func (s *run) accountWindow(now sim.Time, results []episode, busyIdx []int) {
 		ran[i] = true
 	}
 	epochSec := s.cfg.Epoch.Seconds()
-	mid := now.Seconds() - epochSec/2
+	nowSec := now.Seconds()
+	winStart := nowSec - epochSec
+	mid := nowSec - epochSec/2
 	effLoad := s.cfg.BaseLoad * workload.ClampMultiplier(s.cfg.Shape.Multiplier(mid))
 
 	windowJ := 0.0
 	active, parked := 0, 0
 	for i, n := range s.nodes {
+		// With fault injection the ledger charges against the state the node
+		// HELD over the window (applyFaults already flipped it), splitting at
+		// the crash instant: the live draw until the crash, nothing while
+		// down, and the idle floor from recovery to the boundary. Recovery
+		// never re-charges WakeJ — the repair time covers the boot. With
+		// faults off every instant is -1 and the pre-window state is the
+		// current one, so the arms reduce to the original ledger exactly.
+		st, freq := n.state, n.freq
+		crashAtSec, recAtSec := -1.0, -1.0
+		if f := s.faults; f != nil {
+			st, freq = f.preState[i], f.preFreq[i]
+			crashAtSec, recAtSec = f.crashAt[i], f.recoveredAt[i]
+		}
+		recTail := 0.0
+		if recAtSec >= 0 {
+			recTail = m.IdleW * (nowSec - recAtSec)
+		}
 		var j float64
 		switch {
 		case ran[i]:
 			ep := results[i]
 			j = ep.joules
-			if rem := epochSec - ep.span.Seconds(); rem > 1e-9 {
+			if crashAtSec >= 0 {
+				// The episode truncated at the crash; no solo remainder.
+				j += recTail
+			} else if rem := epochSec - ep.span.Seconds(); rem > 1e-9 {
 				// Episode ended early (all jobs finished): the service rides
 				// alone for the remainder.
-				j += m.PowerAt(s.soloUtil(effLoad, n.freq), n.freq) * rem
+				j += m.PowerAt(s.soloUtil(effLoad, freq), freq) * rem
 			}
-			if n.freq < m.Nominal() {
+			if freq < m.Nominal() {
 				s.lowFreqWindows++
 			}
-		case n.state == autoscale.Parked:
-			j = m.ParkedW * epochSec
-			s.parkedWindows++
-		case n.state == autoscale.Waking:
-			j = m.IdleW * epochSec
+		case st == autoscale.Down:
+			// Down since before the window: dark until recovery, if any.
+			j = recTail
+		case st == autoscale.Parked:
+			if crashAtSec >= 0 {
+				j = m.ParkedW*(crashAtSec-winStart) + recTail
+			} else {
+				j = m.ParkedW * epochSec
+				s.parkedWindows++
+			}
+		case st == autoscale.Waking:
+			if crashAtSec >= 0 {
+				j = m.IdleW*(crashAtSec-winStart) + recTail
+			} else {
+				j = m.IdleW * epochSec
+			}
 		default:
 			// Active (or draining) with no residents: the service alone.
-			j = m.PowerAt(s.soloUtil(effLoad, n.freq), n.freq) * epochSec
+			solo := m.PowerAt(s.soloUtil(effLoad, freq), freq)
+			if crashAtSec >= 0 {
+				j = solo*(crashAtSec-winStart) + recTail
+			} else {
+				j = solo * epochSec
+			}
 		}
 		n.joules += j
 		windowJ += j
@@ -854,10 +989,9 @@ func (s *run) accountWindow(now sim.Time, results []episode, busyIdx []int) {
 			parked++
 		}
 	}
-	t := now.Seconds()
-	s.trace.Series("watts.cluster").Append(t, windowJ/epochSec)
-	s.trace.Series("nodes.active").Append(t, float64(active))
-	s.trace.Series("nodes.parked").Append(t, float64(parked))
+	s.trace.Series("watts.cluster").Append(nowSec, windowJ/epochSec)
+	s.trace.Series("nodes.active").Append(nowSec, float64(active))
+	s.trace.Series("nodes.parked").Append(nowSec, float64(parked))
 	s.obsEnergyWindow(windowJ, active, parked)
 }
 
@@ -894,7 +1028,7 @@ func (s *run) nodeStates(now sim.Time) []NodeState {
 			st.Resident = append(st.Resident, job.App.Name)
 			st.Pressure += job.Pressure
 		}
-		st.Telemetry = n.tel
+		st.Telemetry, st.TelemetryStale = s.viewTelemetry(i, now.Seconds())
 		states[i] = st
 	}
 	return states
@@ -909,9 +1043,38 @@ func (s *run) place(now sim.Time) {
 	}
 	states := s.nodeStates(now)
 	obsOn := s.cfg.Obs != nil
+	f := s.faults
+	nowSec := now.Seconds()
 	var still []*Job
 	for _, job := range s.pending {
-		choice := s.cfg.Policy.Place(*job, states)
+		if f != nil && job.retryAtSec > nowSec {
+			// Crash-retry backoff: the job is not offered yet, and the policy
+			// never saw it, so this is not a deferral.
+			still = append(still, job)
+			continue
+		}
+		var choice int
+		if f != nil && job.lastDomain >= 0 && f.plan.DomainSize > 1 {
+			// Anti-affinity: offer the retried job with its failed domain's
+			// free slots masked out, spreading retries away from the blast
+			// radius. A preference, not a constraint — if the rest of the
+			// cluster is full, the failed domain beats the queue.
+			lo, hi := f.plan.DomainNodes(job.lastDomain, len(s.nodes))
+			f.maskFree = f.maskFree[:0]
+			for k := lo; k < hi; k++ {
+				f.maskFree = append(f.maskFree, states[k].Free)
+				states[k].Free = 0
+			}
+			choice = s.cfg.Policy.Place(*job, states)
+			for k := lo; k < hi; k++ {
+				states[k].Free = f.maskFree[k-lo]
+			}
+			if choice < 0 {
+				choice = s.cfg.Policy.Place(*job, states)
+			}
+		} else {
+			choice = s.cfg.Policy.Place(*job, states)
+		}
 		if choice < 0 {
 			if obsOn {
 				s.obsPlacement(now, job, -1, freeCandidates(states))
@@ -933,7 +1096,11 @@ func (s *run) place(now sim.Time) {
 			s.obsPlacement(now, job, choice, freeCandidates(states))
 		}
 		job.Node = choice
-		job.StartSec = now.Seconds()
+		if job.StartSec < 0 {
+			// A requeued job keeps its first start: the wait statistics
+			// measure time-to-first-placement, not crash churn.
+			job.StartSec = nowSec
+		}
 		n.resident = append(n.resident, job)
 		states[choice].Free--
 		states[choice].Resident = append(states[choice].Resident, job.App.Name)
@@ -1013,6 +1180,14 @@ func (s *run) finalize() Result {
 		out.LowFreqNodeWindows = s.lowFreqWindows
 		out.Wakes = s.wakes
 	}
+	if f := s.faults; f != nil {
+		out.Crashes = f.crashes
+		out.Recoveries = f.recoveries
+		out.Requeued = f.requeued
+		out.DownNodeWindows = f.downWindows
+		out.StaleNodeWindows = f.staleWindows
+		out.StragglerNodeWindows = f.stragglerWindows
+	}
 	if o := s.cfg.Obs; o != nil && o.Profile != nil {
 		out.ShardProfiles = o.Profile.Shards()
 	}
@@ -1029,6 +1204,8 @@ func (s *run) finalize() Result {
 			Done:       j.Done,
 			Inaccuracy: j.Inaccuracy,
 			WaitSec:    j.WaitSec(out.HorizonSec),
+			Retries:    j.Retries,
+			Lost:       j.Lost,
 		}
 		if j.Node >= 0 {
 			o.Node = s.nodes[j.Node].node.Name
@@ -1037,6 +1214,11 @@ func (s *run) finalize() Result {
 			if o.WaitSec > out.MaxWaitSec {
 				out.MaxWaitSec = o.WaitSec
 			}
+		} else if j.Lost {
+			// Dropped past its retry budget: neither placed nor pending. The
+			// Arrived == Placed + Pending + JobsLost ledger balances by
+			// construction because this is a per-job census.
+			out.JobsLost++
 		} else {
 			out.Pending++
 		}

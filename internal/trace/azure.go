@@ -75,6 +75,12 @@ func ParseAzure(r io.Reader) (*Trace, error) {
 			dropped++
 			continue
 		}
+		cause := CauseUnknown
+		if dur >= 0 {
+			// The vmtable schema records only a deletion instant, no reason:
+			// a deleted VM reads as a normal completion.
+			cause = CauseFinish
+		}
 		jobs = append(jobs, Job{
 			// Clone: the CSV reader reuses its field buffer across rows.
 			ID:          strings.Clone(rec[aVMID]),
@@ -82,6 +88,7 @@ func ParseAzure(r io.Reader) (*Trace, error) {
 			DurationSec: dur,
 			CPU:         cores,
 			Mem:         mem,
+			Cause:       cause,
 		})
 	}
 	return finishTrace("azure", rows, dropped, jobs)

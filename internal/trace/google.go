@@ -124,6 +124,7 @@ func ParseGoogle(r io.Reader) (*Trace, error) {
 				DurationSec: dur,
 				CPU:         clamp01(o.cpu),
 				Mem:         clamp01(o.mem),
+				Cause:       causeOfEvent(event),
 			})
 		case gSchedule, gUpdatePending, gUpdateRunning:
 			// Placement and update events carry no new information for
@@ -150,6 +151,26 @@ func ParseGoogle(r io.Reader) (*Trace, error) {
 		})
 	}
 	return finishTrace("google", rows, dropped, jobs)
+}
+
+// causeOfEvent maps a ClusterData terminal event type to its Cause. The
+// per-cause identity used to be collapsed here (every terminal meant "the
+// task stopped"); preserving it lets fault injection replay a trace's real
+// failure mix (fault.FromTrace, pliant-sched -trace-faults).
+func causeOfEvent(event int) Cause {
+	switch event {
+	case gFinish:
+		return CauseFinish
+	case gEvict:
+		return CauseEvict
+	case gFail:
+		return CauseFail
+	case gKill:
+		return CauseKill
+	case gLost:
+		return CauseLost
+	}
+	return CauseUnknown
 }
 
 // newCSVReader configures the shared reader: variable-width rows (real

@@ -23,6 +23,12 @@ type SynthConfig struct {
 	// 0.05, negative for none; for Azure the deletion column goes missing
 	// instead).
 	Orphans float64
+	// FailureFrac is the fraction of terminated Google tasks whose terminal
+	// event is failure-shaped instead of FINISH, cycled over
+	// EVICT/FAIL/KILL/LOST (default 0: all terminals FINISH, drawing no
+	// randomness, so pre-existing fixtures stay byte-identical). Azure rows
+	// have no cause column; the knob is ignored there.
+	FailureFrac float64
 }
 
 func (c SynthConfig) withDefaults() SynthConfig {
@@ -41,6 +47,9 @@ func (c SynthConfig) withDefaults() SynthConfig {
 	if c.Orphans < 0 {
 		c.Orphans = 0
 	}
+	if c.FailureFrac < 0 {
+		c.FailureFrac = 0
+	}
 	return c
 }
 
@@ -50,6 +59,7 @@ type synthJob struct {
 	durationSec float64
 	cpu, mem    float64
 	orphan      bool
+	term        int // Google terminal event type (gFinish unless failed)
 }
 
 // synthesizeJobs draws the arrival process every format shares: Pareto
@@ -80,13 +90,31 @@ func synthesizeJobs(c SynthConfig) []synthJob {
 		if cpuBase > 1 {
 			cpuBase = 1
 		}
-		jobs = append(jobs, synthJob{
+		sj := synthJob{
 			arrivalSec:  t,
 			durationSec: dur,
 			cpu:         clamp01(0.1 + 0.6*cpuBase + 0.3*rng.Float64()),
 			mem:         clamp01(0.05 + 0.5*cpuBase + 0.3*rng.Float64()),
 			orphan:      rng.Bernoulli(c.Orphans),
-		})
+			term:        gFinish,
+		}
+		// Failure causes are opt-in and draw from the stream only when a
+		// format that can express them has them enabled, so FailureFrac == 0
+		// reproduces pre-existing fixtures byte-for-byte and the knob leaves
+		// Azure fixtures (no cause column) untouched.
+		if c.Format == Google && c.FailureFrac > 0 && rng.Bernoulli(c.FailureFrac) {
+			switch i % 4 {
+			case 0:
+				sj.term = gEvict
+			case 1:
+				sj.term = gFail
+			case 2:
+				sj.term = gKill
+			default:
+				sj.term = gLost
+			}
+		}
+		jobs = append(jobs, sj)
 		t += gap
 	}
 	// Rescale so the last arrival lands exactly on the configured span:
@@ -144,7 +172,7 @@ func formatGoogle(jobs []synthJob) []byte {
 		events = append(events, event{usec: int64(j.arrivalSec * 1e6), seq: len(events), etype: gSubmit, job: i})
 		if !j.orphan {
 			end := int64((j.arrivalSec + j.durationSec) * 1e6)
-			events = append(events, event{usec: end, seq: len(events), etype: gFinish, job: i})
+			events = append(events, event{usec: end, seq: len(events), etype: j.term, job: i})
 		}
 	}
 	sort.SliceStable(events, func(a, b int) bool {

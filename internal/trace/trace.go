@@ -59,6 +59,100 @@ func FormatByName(name string) (Format, error) {
 	return 0, fmt.Errorf("trace: unknown format %q (google, azure)", name)
 }
 
+// Cause is a job's terminal cause — why the trace says it stopped running.
+// The values mirror the Google ClusterData terminal event types; Azure rows
+// carry only a deletion timestamp, so deleted VMs report CauseFinish.
+type Cause uint8
+
+// The terminal causes. The zero value is CauseUnknown so jobs whose terminal
+// event never appears in the window (orphans) need no special-casing.
+const (
+	// CauseUnknown marks a job with no terminal event inside the trace
+	// window (its duration was defaulted; see Trace.Defaulted).
+	CauseUnknown Cause = iota
+	// CauseFinish is a normal completion.
+	CauseFinish
+	// CauseEvict, CauseFail, CauseKill, and CauseLost are the failure-shaped
+	// terminals: descheduled for a higher-priority tenant or a machine loss,
+	// task error, user/driver kill, and record loss respectively.
+	CauseEvict
+	CauseFail
+	CauseKill
+	CauseLost
+)
+
+// String names the cause as the source schemas spell it.
+func (c Cause) String() string {
+	switch c {
+	case CauseUnknown:
+		return "unknown"
+	case CauseFinish:
+		return "finish"
+	case CauseEvict:
+		return "evict"
+	case CauseFail:
+		return "fail"
+	case CauseKill:
+		return "kill"
+	case CauseLost:
+		return "lost"
+	default:
+		return fmt.Sprintf("cause(%d)", int(c))
+	}
+}
+
+// Failure reports whether the cause is failure-shaped — the job stopped for
+// a reason other than finishing its work.
+func (c Cause) Failure() bool {
+	switch c {
+	case CauseEvict, CauseFail, CauseKill, CauseLost:
+		return true
+	}
+	return false
+}
+
+// CauseCounts is the per-cause census of a trace's jobs.
+type CauseCounts struct {
+	Finish  int
+	Evict   int
+	Fail    int
+	Kill    int
+	Lost    int
+	Unknown int
+}
+
+// Terminated counts jobs whose terminal event appeared in the window.
+func (c CauseCounts) Terminated() int {
+	return c.Finish + c.Evict + c.Fail + c.Kill + c.Lost
+}
+
+// Failures counts the failure-shaped terminals.
+func (c CauseCounts) Failures() int {
+	return c.Evict + c.Fail + c.Kill + c.Lost
+}
+
+// countCauses censuses a job list.
+func countCauses(jobs []Job) CauseCounts {
+	var c CauseCounts
+	for _, j := range jobs {
+		switch j.Cause {
+		case CauseFinish:
+			c.Finish++
+		case CauseEvict:
+			c.Evict++
+		case CauseFail:
+			c.Fail++
+		case CauseKill:
+			c.Kill++
+		case CauseLost:
+			c.Lost++
+		default:
+			c.Unknown++
+		}
+	}
+	return c
+}
+
 // Job is one normalized trace row: a unit of batch work arriving at a
 // cluster, whatever the source schema called it (task, VM).
 type Job struct {
@@ -76,6 +170,9 @@ type Job struct {
 	// of a machine, as both source schemas express them.
 	CPU float64
 	Mem float64
+	// Cause is the job's terminal cause (CauseUnknown when the terminal
+	// event never appeared in the trace window).
+	Cause Cause
 }
 
 // Trace is a parsed, validated, arrival-ordered job stream.
@@ -92,8 +189,21 @@ type Trace struct {
 	// Defaulted counts jobs whose duration never appeared in the trace and
 	// was filled with the mean observed duration.
 	Defaulted int
+	// Causes censuses the jobs' terminal causes — the raw material of
+	// trace-derived fault injection (internal/fault.FromTrace).
+	Causes CauseCounts
 	// Jobs is the normalized stream, ascending in ArrivalSec.
 	Jobs []Job
+}
+
+// FailureFrac is the fraction of terminated jobs whose terminal cause was
+// failure-shaped (EVICT/FAIL/KILL/LOST); 0 when no job terminated inside the
+// window.
+func (t *Trace) FailureFrac() float64 {
+	if term := t.Causes.Terminated(); term > 0 {
+		return float64(t.Causes.Failures()) / float64(term)
+	}
+	return 0
 }
 
 // SpanSec is the time between the first and last arrival.
@@ -236,6 +346,7 @@ func (t *Trace) Normalize(o Options) (*Trace, error) {
 		Rows:      t.Rows,
 		Dropped:   t.Dropped,
 		Defaulted: t.Defaulted,
+		Causes:    countCauses(jobs), // recensus: sampling changes the mix
 		Jobs:      jobs,
 	}, nil
 }
@@ -282,6 +393,7 @@ func finishTrace(source string, rows, dropped int, jobs []Job) (*Trace, error) {
 		Rows:      rows,
 		Dropped:   dropped,
 		Defaulted: defaulted,
+		Causes:    countCauses(jobs),
 		Jobs:      jobs,
 	}, nil
 }

@@ -166,6 +166,105 @@ func TestParseGoogleUpdateEventsNotDropped(t *testing.T) {
 	}
 }
 
+// TestParseGooglePreservesTerminalCause pins the per-job cause identity: the
+// parser used to collapse every terminal event into "the task stopped";
+// fault injection (fault.FromTrace, pliant-sched -trace-faults) needs the
+// real FINISH/EVICT/FAIL/KILL/LOST mix preserved per job and censused.
+func TestParseGooglePreservesTerminalCause(t *testing.T) {
+	csv := strings.Join([]string{
+		"1000000,,1,0,7,0,u,0,0,0.10,0.10,0.001,0", // submit 1/0
+		"1100000,,2,0,7,0,u,0,0,0.10,0.10,0.001,0", // submit 2/0
+		"1200000,,3,0,7,0,u,0,0,0.10,0.10,0.001,0", // submit 3/0
+		"1300000,,4,0,7,0,u,0,0,0.10,0.10,0.001,0", // submit 4/0
+		"1400000,,5,0,7,0,u,0,0,0.10,0.10,0.001,0", // submit 5/0
+		"1500000,,6,0,7,0,u,0,0,0.10,0.10,0.001,0", // submit 6/0 (orphan)
+		"2000000,,1,0,7,4,u,0,0,0.10,0.10,0.001,0", // finish
+		"2100000,,2,0,7,2,u,0,0,0.10,0.10,0.001,0", // evict
+		"2200000,,3,0,7,3,u,0,0,0.10,0.10,0.001,0", // fail
+		"2300000,,4,0,7,5,u,0,0,0.10,0.10,0.001,0", // kill
+		"2400000,,5,0,7,6,u,0,0,0.10,0.10,0.001,0", // lost
+	}, "\n")
+	tr, err := ParseGoogle(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]Cause{
+		"1/0": CauseFinish, "2/0": CauseEvict, "3/0": CauseFail,
+		"4/0": CauseKill, "5/0": CauseLost, "6/0": CauseUnknown,
+	}
+	if len(tr.Jobs) != len(want) {
+		t.Fatalf("jobs = %d, want %d", len(tr.Jobs), len(want))
+	}
+	for _, j := range tr.Jobs {
+		if j.Cause != want[j.ID] {
+			t.Errorf("job %s cause = %v, want %v", j.ID, j.Cause, want[j.ID])
+		}
+	}
+	wantCounts := CauseCounts{Finish: 1, Evict: 1, Fail: 1, Kill: 1, Lost: 1, Unknown: 1}
+	if tr.Causes != wantCounts {
+		t.Errorf("causes = %+v, want %+v", tr.Causes, wantCounts)
+	}
+	if got := tr.Causes.Terminated(); got != 5 {
+		t.Errorf("terminated = %d, want 5", got)
+	}
+	if got := tr.Causes.Failures(); got != 4 {
+		t.Errorf("failures = %d, want 4", got)
+	}
+	if got := tr.FailureFrac(); got != 0.8 {
+		t.Errorf("failure fraction = %v, want 0.8", got)
+	}
+}
+
+// TestNormalizeRecensusesCauses pins that down-sampling recounts the cause
+// census over the surviving jobs — the sample's mix, not the source's.
+func TestNormalizeRecensusesCauses(t *testing.T) {
+	raw := Synthesize(SynthConfig{Format: Google, Jobs: 80, SpanSec: 600, Seed: 3, FailureFrac: 0.5})
+	parsed, err := Parse(bytes.NewReader(raw), Google)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := parsed.Normalize(Options{MaxJobs: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countCauses(tr.Jobs); got != tr.Causes {
+		t.Errorf("normalized census %+v does not match its jobs %+v", tr.Causes, got)
+	}
+	if tr.Causes.Terminated() == len(parsed.Jobs) {
+		t.Error("down-sampled census still counts the full source trace")
+	}
+}
+
+// TestSynthesizeFailureFrac: with the knob on, the fixture carries every
+// failure-shaped terminal and the parsed failure fraction lands near the
+// configured rate; with the knob off (the default), the generator draws no
+// extra randomness, so pre-knob fixtures stay byte-identical — which
+// TestFixturesMatchSynthesize pins against the committed files.
+func TestSynthesizeFailureFrac(t *testing.T) {
+	raw := Synthesize(SynthConfig{Format: Google, Jobs: 200, SpanSec: 3600, Seed: 5, FailureFrac: 0.5})
+	tr, err := Parse(bytes.NewReader(raw), Google)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tr.Causes
+	if c.Evict == 0 || c.Fail == 0 || c.Kill == 0 || c.Lost == 0 {
+		t.Fatalf("failure mix missing a kind: %+v", c)
+	}
+	if c.Finish == 0 {
+		t.Fatal("no task finished normally")
+	}
+	if frac := tr.FailureFrac(); frac < 0.35 || frac > 0.65 {
+		t.Errorf("failure fraction = %v, want near the configured 0.5", frac)
+	}
+	// Azure has no cause column: the knob must not disturb its bytes.
+	base := SynthConfig{Format: Azure, Jobs: 40, SpanSec: 600, Seed: 13, Orphans: 0.15}
+	withFrac := base
+	withFrac.FailureFrac = 0.5
+	if !bytes.Equal(Synthesize(base), Synthesize(withFrac)) {
+		t.Error("FailureFrac changed Azure fixture bytes")
+	}
+}
+
 func TestParseAzureRows(t *testing.T) {
 	csv := strings.Join([]string{
 		"vmid,sub,dep,created,deleted,maxcpu,avgcpu,p95,category,cores,mem", // header

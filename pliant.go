@@ -52,6 +52,7 @@ import (
 	"github.com/approx-sched/pliant/internal/energy"
 	"github.com/approx-sched/pliant/internal/experiments"
 	"github.com/approx-sched/pliant/internal/export"
+	"github.com/approx-sched/pliant/internal/fault"
 	"github.com/approx-sched/pliant/internal/monitor"
 	"github.com/approx-sched/pliant/internal/obs"
 	"github.com/approx-sched/pliant/internal/platform"
@@ -369,6 +370,7 @@ const (
 	NodeDraining = autoscale.Draining
 	NodeParked   = autoscale.Parked
 	NodeWaking   = autoscale.Waking
+	NodeDown     = autoscale.Down
 )
 
 // NoReserveSlots requests an explicit zero-slot reserve from
@@ -438,6 +440,54 @@ func WriteSchedTraceCSV(w io.Writer, res SchedResult) error {
 	return export.WriteSchedTraceCSV(w, res)
 }
 
+// Fault injection and recovery (internal/fault): seeded, virtual-time
+// failures wired through the online scheduler. A FaultPlan attached via
+// SchedConfig.Faults compiles — purely from the run seed — into a typed event
+// stream: MTTF/MTTR node crash/recover churn, scripted correlated outages
+// that drop whole failure domains, telemetry dropouts that freeze a node's
+// feedback, and straggler windows that degrade its effective frequency.
+// Crashed nodes drop their jobs back to the queue under a per-job retry
+// budget with exponential backoff and domain-aware anti-affinity on retry;
+// the DegradeUnderLossController funds the capacity shortfall by waking
+// reserves instead of shedding jobs. Fault-injected runs stay byte-identical
+// across shard counts.
+type (
+	// FaultPlan describes a run's fault injection (SchedConfig.Faults).
+	FaultPlan = fault.Plan
+	// FaultOutage is one scripted correlated failure-domain outage.
+	FaultOutage = fault.Outage
+	// FaultEvent is one compiled, typed fault event.
+	FaultEvent = fault.Event
+	// FaultEventKind discriminates fault events.
+	FaultEventKind = fault.EventKind
+	// DegradeUnderLossController wraps a normal autoscaler and, while crashed
+	// capacity leaves demand unmet, wakes every reserve and snaps survivors
+	// to nominal frequency instead of shedding jobs.
+	DegradeUnderLossController = fault.DegradeUnderLoss
+)
+
+// Fault event kinds.
+const (
+	FaultRecover        = fault.Recover
+	FaultCrash          = fault.Crash
+	FaultTelemetryStale = fault.TelemetryStale
+	FaultStraggle       = fault.Straggle
+)
+
+// FaultPlanFromTrace derives a fault plan from a parsed cluster trace's
+// observed failure fraction (jobs whose terminal cause was a failure,
+// eviction, kill, or loss), for replaying a production trace's fault rate.
+func FaultPlanFromTrace(tr *ClusterTrace, horizonSec float64) (FaultPlan, error) {
+	return fault.FromTrace(tr, horizonSec)
+}
+
+// CompileFaultPlan expands a plan into its deterministic event stream for
+// the given run seed, node count, and horizon — what the scheduler applies
+// internally, exposed for inspection and tests.
+func CompileFaultPlan(p FaultPlan, runSeed uint64, nodes int, horizonSec float64) []FaultEvent {
+	return p.Compile(runSeed, nodes, horizonSec)
+}
+
 // Observability (internal/obs): a deterministic, virtual-time view into a
 // scheduling run. An Observer attached via SchedConfig.Obs carries three
 // channels — a ring-buffered decision tracer exportable as Chrome
@@ -475,6 +525,7 @@ const (
 	ObsKindAutoscale  = obs.KindAutoscale
 	ObsKindLifecycle  = obs.KindLifecycle
 	ObsKindReplayDrop = obs.KindReplayDrop
+	ObsKindFault      = obs.KindFault
 )
 
 // NewObserver builds an observer with all three channels attached. Attach a
