@@ -31,8 +31,14 @@ func main() {
 		jsonOut = flag.Bool("json", false, "run the perf-trajectory benchmark suite and write BENCH_<label>.json")
 		label   = flag.String("label", "dev", "label for the -json trajectory file")
 		verify  = flag.String("verify", "", "parse every BENCH_*.json under the given directory and exit")
+		showVer = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
+
+	if *showVer {
+		fmt.Println(pliant.Version())
+		return
+	}
 
 	if *verify != "" {
 		if err := verifyTrajectories(*verify, os.Stdout); err != nil {

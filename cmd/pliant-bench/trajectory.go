@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -226,6 +228,14 @@ func traceReplayBenchConfig() (cfg pliant.SchedConfig, rows, jobs int, err error
 	return cfg, tr.Rows, len(tr.Jobs), nil
 }
 
+// serveBenchSessions and serveBenchQueueCap shape the ServeSubmit record:
+// how many concurrent daemon sessions the submissions fan across, and the
+// bounded per-session ingest depth the 429 backpressure contract engages at.
+const (
+	serveBenchSessions = 2
+	serveBenchQueueCap = 4096
+)
+
 // runTrajectory executes the perf-trajectory suite with testing.Benchmark
 // and writes BENCH_<label>.json into the current directory.
 func runTrajectory(label string) error {
@@ -395,6 +405,82 @@ func runTrajectory(label string) error {
 	}
 	t.Benchmarks = append(t.Benchmarks, shardedRec)
 
+	// Sustained submissions through the daemon's HTTP ingest path: two
+	// concurrent paced submission-only sessions behind one serve.Server,
+	// jobs POSTed round-robin, 429 backpressure retried. The record carries
+	// the session count and the bounded queue depth (the inflight ceiling
+	// backpressure engages at) — the -verify gate rejects serve records
+	// without them — plus cores, because on one CPU the sessions' engine
+	// windows and the HTTP handlers time-slice a single core.
+	serveRec := record("ServeSubmit", testing.Benchmark(func(b *testing.B) {
+		srv := pliant.NewServeServer(pliant.ServeOptions{})
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		var sessions []*pliant.ServeSession
+		var urls []string
+		for i := 0; i < serveBenchSessions; i++ {
+			sess, err := srv.CreateSession(pliant.ServeSpec{
+				Name:       fmt.Sprintf("bench-%d", i),
+				SubmitOnly: true,
+				Policies:   []string{"first-fit"},
+				HorizonSec: 1e7,
+				EpochSec:   12,
+				TimeScale:  16,
+				QueueCap:   serveBenchQueueCap,
+				PaceMS:     20,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sessions = append(sessions, sess)
+			urls = append(urls, ts.URL+"/v1/sessions/"+sess.ID+"/jobs")
+		}
+		defer func() {
+			b.StopTimer()
+			for _, s := range sessions {
+				s.Stop()
+				s.Wait()
+			}
+		}()
+		client := ts.Client()
+		const body = `{"jobs":["canneal"]}`
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for {
+				resp, err := client.Post(urls[i%len(urls)], "application/json", strings.NewReader(body))
+				if err != nil {
+					b.Fatal(err)
+				}
+				status := resp.StatusCode
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if status == http.StatusAccepted {
+					break
+				}
+				if status != http.StatusTooManyRequests {
+					b.Fatalf("submit %d: unexpected status %d", i, status)
+				}
+			}
+		}
+		b.StopTimer()
+		var accepted int
+		for _, s := range sessions {
+			accepted += s.Status().Accepted
+		}
+		if accepted < b.N {
+			b.Fatalf("sessions accepted %d < %d submitted", accepted, b.N)
+		}
+		b.ReportMetric(float64(accepted)/b.Elapsed().Seconds(), "submits/s")
+	}))
+	if serveRec.Metrics == nil {
+		serveRec.Metrics = map[string]float64{}
+	}
+	serveRec.Metrics["sessions"] = serveBenchSessions
+	serveRec.Metrics["inflight"] = serveBenchQueueCap
+	serveRec.Metrics["cores"] = float64(runtime.GOMAXPROCS(0))
+	t.Benchmarks = append(t.Benchmarks, serveRec)
+
 	path := fmt.Sprintf("BENCH_%s.json", label)
 	f, err := os.Create(path)
 	if err != nil {
@@ -497,6 +583,17 @@ func verifyTrajectories(dir string, w io.Writer) error {
 			// scheduled.
 			if strings.HasPrefix(b.Name, "SchedTraceReplay") {
 				for _, key := range []string{"rows", "jobs"} {
+					if b.Metrics[key] <= 0 {
+						return fmt.Errorf("%s: %s missing %s metadata alongside ns/op", p, b.Name, key)
+					}
+				}
+			}
+			// Serving-layer records (BENCH_PR8.json onward) must state the
+			// ingest surface they were measured against: a submissions/s
+			// figure is meaningless without the concurrent session count and
+			// the bounded queue depth the 429 backpressure engages at.
+			if strings.HasPrefix(b.Name, "ServeSubmit") {
+				for _, key := range []string{"sessions", "inflight"} {
 					if b.Metrics[key] <= 0 {
 						return fmt.Errorf("%s: %s missing %s metadata alongside ns/op", p, b.Name, key)
 					}

@@ -177,3 +177,30 @@ func TestVerifyRequiresFaultStormMetadata(t *testing.T) {
 		t.Errorf("complete fault record rejected: %v", err)
 	}
 }
+
+// TestVerifyRequiresServeSubmitMetadata pins the PR8 gate: a serving-layer
+// trajectory record must state the ingest surface it was measured against
+// (concurrent session count, bounded queue depth) alongside ns/op.
+func TestVerifyRequiresServeSubmitMetadata(t *testing.T) {
+	dir := t.TempDir()
+	write := func(metrics string) {
+		t.Helper()
+		doc := `{"label":"PR8","benchmarks":[{"name":"ServeSubmit",` +
+			`"iterations":1,"ns_per_op":5.0e9` + metrics + `}]}`
+		if err := os.WriteFile(filepath.Join(dir, "BENCH_PR8.json"), []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("")
+	if err := verifyTrajectories(dir, io.Discard); err == nil {
+		t.Error("serve record without sessions/inflight metadata verified")
+	}
+	write(`,"metrics":{"sessions":2}`)
+	if err := verifyTrajectories(dir, io.Discard); err == nil {
+		t.Error("serve record without an inflight figure verified")
+	}
+	write(`,"metrics":{"sessions":2,"inflight":4096}`)
+	if err := verifyTrajectories(dir, io.Discard); err != nil {
+		t.Errorf("complete serve record rejected: %v", err)
+	}
+}

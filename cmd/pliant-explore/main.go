@@ -24,8 +24,14 @@ func main() {
 		appName = flag.String("app", "", "explore a single application")
 		budget  = flag.Float64("budget", 5.0, "max tolerable inaccuracy in percent")
 		showAll = flag.Bool("all", false, "print every examined candidate, not just selected")
+		showVer = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
+
+	if *showVer {
+		fmt.Println(pliant.Version())
+		return
+	}
 
 	apps := pliant.Applications()
 	if *appName != "" {

@@ -31,8 +31,14 @@ func main() {
 		jsonOut  = flag.String("json", "", "write the result as JSON to a file ('-' for stdout)")
 		csvOut   = flag.String("csv", "", "write the per-interval trace as CSV to a file ('-' for stdout)")
 		hints    = flag.String("hints", "", "load an ACCEPT-style hints file; its app becomes available to -apps")
+		showVer  = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
+
+	if *showVer {
+		fmt.Println(pliant.Version())
+		return
+	}
 
 	if *apps == "list" {
 		for _, p := range pliant.Applications() {

@@ -3,6 +3,10 @@
 // places (or defers) them at every scheduling window, and each node runs its
 // colocation under the Pliant runtime with time-varying service load.
 //
+// The flags lower onto the same session-spec surface the pliant-served
+// daemon resolves (pliant.ServeSpec), so a batch run and a daemon session
+// with equal parameters cannot drift semantically.
+//
 // Usage:
 //
 //	pliant-sched -policy telemetry -shape diurnal -timescale 16
@@ -16,13 +20,18 @@
 //	pliant-sched -policy telemetry -mttf 120 -mttr 15 -retries 2   # seeded crash churn
 //	pliant-sched -outage 80:1:40 -fault-domain 2 -autoscale degrade-under-loss
 //	pliant-sched -trace tasks.csv -trace-faults   # replay the trace's failure rate
+//
+// SIGINT/SIGTERM stops the run at the next window boundary: the partial
+// result still renders and still flushes to -json/-csv, marked truncated.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	pliant "github.com/approx-sched/pliant"
 )
@@ -74,92 +83,105 @@ func main() {
 			"per-job retry budget after a crash (0 = the default 3, negative = drop on first crash)")
 		traceFaults = flag.Bool("trace-faults", false,
 			"derive the crash rate from the -trace's failure-shaped terminal causes (EVICT/FAIL/KILL/LOST)")
+		showVer = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
 
-	nodes, err := parseNodes(*nodesFlag, *maxApps)
+	if *showVer {
+		fmt.Println(pliant.Version())
+		return
+	}
+
+	outages, err := parseOutages(*outageFlag)
 	if err != nil {
 		fail(err)
 	}
-
-	var tr *pliant.ClusterTrace
+	sp := pliant.ServeSpec{
+		Seed:        *seed,
+		Nodes:       strings.Split(*nodesFlag, ","),
+		MaxApps:     *maxApps,
+		Policies:    []string{*policy},
+		HorizonSec:  *horizon,
+		EpochSec:    *epoch,
+		Rate:        *rate,
+		Load:        *load,
+		Shape:       *shape,
+		Amp:         *amp,
+		PeriodSec:   *period,
+		Peak:        *peak,
+		TimeScale:   *scale,
+		Workers:     *workers,
+		Shards:      *shards,
+		Energy:      *useEnergy,
+		Autoscale:   *autoscaler,
+		MTTFSec:     *mttf,
+		MTTRSec:     *mttr,
+		FaultDomain: *faultDomain,
+		Outages:     outages,
+		Retries:     *retries,
+		TraceFaults: *traceFaults,
+	}
+	if *jobsFlag != "" {
+		sp.Jobs = strings.Split(*jobsFlag, ",")
+	}
 	if *traceFile != "" {
-		slots := 0
-		for _, n := range nodes {
-			slots += n.MaxApps
-		}
-		tr, err = loadTrace(*traceFile, *traceFormat, *traceScale, *traceJobs, *horizon, slots)
+		text, err := os.ReadFile(*traceFile)
 		if err != nil {
 			fail(err)
 		}
+		sp.Trace = &pliant.ServeTraceSpec{
+			Format:    *traceFormat,
+			CSV:       string(text),
+			RateScale: *traceScale,
+			MaxJobs:   *traceJobs,
+		}
+	}
+
+	resolved, err := pliant.ResolveServeSpec(sp)
+	if err != nil {
+		fail(err)
+	}
+	cfg := resolved.Cfg
+
+	if tr := resolved.Trace; tr != nil {
 		fmt.Printf("trace: %d %s jobs over %.0fs (from %d rows, %d dropped, %d duration-defaulted)\n\n",
 			len(tr.Jobs), tr.Source, tr.SpanSec(), tr.Rows, tr.Dropped, tr.Defaulted)
 	}
-
-	ls, err := parseShape(*shape, *amp, *period, *peak, *horizon, tr)
-	if err != nil {
-		fail(err)
-	}
-
-	cfg := pliant.SchedConfig{
-		Seed:       *seed,
-		Nodes:      nodes,
-		Horizon:    pliant.Duration(*horizon * float64(pliant.Second)),
-		Epoch:      pliant.Duration(*epoch * float64(pliant.Second)),
-		JobsPerSec: *rate,
-		BaseLoad:   *load,
-		Shape:      ls,
-		TimeScale:  *scale,
-		Workers:    *workers,
-		Shards:     *shards,
-	}
-	if *jobsFlag != "" {
-		cfg.JobNames = strings.Split(*jobsFlag, ",")
-	}
-	if tr != nil {
-		cfg.Trace = tr
-		cfg.JobsPerSec = 0
-	}
-	if *useEnergy || *autoscaler != "none" {
-		model := pliant.EnergyModelFor(pliant.TablePlatform())
-		cfg.Energy = &model
-	}
-	switch *autoscaler {
-	case "none":
-	case "consolidate":
-		cfg.Autoscaler = pliant.ConsolidateAutoscaler{}
-	case "approx-for-watts":
-		cfg.Autoscaler = pliant.ApproxForWattsAutoscaler{}
-	case "degrade-under-loss":
-		cfg.Autoscaler = pliant.DegradeUnderLossController{}
-	default:
-		fail(fmt.Errorf("unknown autoscaler %q (none, consolidate, approx-for-watts, degrade-under-loss)", *autoscaler))
-	}
-
-	plan, err := buildFaultPlan(*traceFaults, tr, *horizon, *mttf, *mttr, *faultDomain, *outageFlag, *retries)
-	if err != nil {
-		fail(err)
-	}
-	if plan != nil {
-		cfg.Faults = plan
+	if plan := cfg.Faults; plan != nil {
 		fmt.Printf("faults: MTTF %.0fs, MTTR %.0fs, domains of %d, %d scripted outage(s), retry budget %d\n\n",
 			plan.MTTFSec, plan.MTTRSec, plan.DomainSize, len(plan.Outages), plan.Retries())
 	}
 
-	policies, err := parsePolicies(*policy)
-	if err != nil {
-		fail(err)
-	}
 	wantObs := *obsOn || *traceOut != "" || *metricsOut != "" || *metricsCSV != ""
 	if wantObs {
-		if len(policies) != 1 {
+		if len(resolved.Policies) != 1 {
 			fail(fmt.Errorf("observability outputs cover one run: pick a single -policy (not %q)", *policy))
 		}
 		cfg.Obs = pliant.NewObserver(pliant.ObserverOptions{})
 	}
-	results, err := pliant.CompareSchedPolicies(cfg, policies...)
-	if err != nil {
-		fail(err)
+
+	// Stop at the next window boundary on SIGINT/SIGTERM: the partial result
+	// still renders and still flushes to -json/-csv, marked truncated.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	interrupted := false
+
+	var results []pliant.SchedResult
+	for _, pol := range resolved.Policies {
+		if interrupted {
+			break
+		}
+		c := cfg
+		c.Policy = pol
+		res, err := runInterruptible(c, sigCh, &interrupted)
+		if err != nil {
+			fail(fmt.Errorf("policy %s: %w", pol.Name(), err))
+		}
+		results = append(results, res)
+	}
+	if len(results) == 0 {
+		fail(fmt.Errorf("interrupted before the first window"))
 	}
 	fmt.Print(pliant.RenderSchedComparison(results))
 
@@ -169,6 +191,10 @@ func main() {
 	if cfg.Faults != nil {
 		fmt.Printf("%s faults: %d crashes, %d recoveries, %d jobs requeued, %d lost, %d down node-windows\n",
 			last.Policy, last.Crashes, last.Recoveries, last.Requeued, last.JobsLost, last.DownNodeWindows)
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "pliant-sched: interrupted — %s stopped short of its %.0fs horizon (result marked truncated)\n",
+			last.Policy, last.HorizonSec)
 	}
 
 	if *jsonOut != "" {
@@ -184,7 +210,7 @@ func main() {
 	if wantObs {
 		printProfiles(last.ShardProfiles)
 		meta := pliant.ObsTraceMeta{Policy: last.Policy}
-		for _, n := range nodes {
+		for _, n := range cfg.Nodes {
 			meta.NodeNames = append(meta.NodeNames, n.Name)
 		}
 		if *traceOut != "" {
@@ -211,6 +237,36 @@ func main() {
 	}
 }
 
+// runInterruptible drives one policy's run a window at a time, checking for
+// a delivered signal between windows. A run cut short finalizes normally
+// (its Result carries Truncated); *interrupted tells the caller to skip any
+// remaining policies.
+func runInterruptible(cfg pliant.SchedConfig, sigCh <-chan os.Signal, interrupted *bool) (pliant.SchedResult, error) {
+	r, err := pliant.NewSchedRunner(cfg)
+	if err != nil {
+		return pliant.SchedResult{}, err
+	}
+	defer r.Close()
+	for {
+		select {
+		case <-sigCh:
+			*interrupted = true
+		default:
+		}
+		if *interrupted {
+			break
+		}
+		more, err := r.StepWindow()
+		if err != nil {
+			return pliant.SchedResult{}, err
+		}
+		if !more {
+			break
+		}
+	}
+	return r.Finalize()
+}
+
 // printProfiles renders the wall-clock shard profile (non-deterministic;
 // kept out of every golden-pinned artifact).
 func printProfiles(profiles []pliant.ShardProfile) {
@@ -225,167 +281,21 @@ func printProfiles(profiles []pliant.ShardProfile) {
 	}
 }
 
-func parseNodes(spec string, maxApps int) ([]pliant.ClusterNode, error) {
-	counts := map[string]int{}
-	var nodes []pliant.ClusterNode
-	for _, name := range strings.Split(spec, ",") {
-		var cls pliant.ServiceClass
-		var prefix string
-		switch name {
-		case "nginx":
-			cls, prefix = pliant.NGINX, "web"
-		case "memcached":
-			cls, prefix = pliant.Memcached, "cache"
-		case "mongodb":
-			cls, prefix = pliant.MongoDB, "db"
-		default:
-			return nil, fmt.Errorf("unknown service %q (nginx, memcached, mongodb)", name)
-		}
-		counts[prefix]++
-		nodes = append(nodes, pliant.ClusterNode{
-			Name:    fmt.Sprintf("%s-%d", prefix, counts[prefix]),
-			Service: cls,
-			MaxApps: maxApps,
-		})
-	}
-	return nodes, nil
-}
-
-func parseShape(kind string, amp, period, peak, horizonSec float64, tr *pliant.ClusterTrace) (pliant.LoadShape, error) {
-	switch kind {
-	case "steady":
-		return pliant.SteadyLoad{}, nil
-	case "diurnal":
-		if period == 0 {
-			period = horizonSec // one "day" compressed into the horizon
-		}
-		return pliant.NewDiurnalLoad(amp, period)
-	case "flash":
-		return pliant.NewFlashLoad(1, peak, horizonSec/3, horizonSec/6)
-	case "trace":
-		// The services ride the replayed trace's own rate curve.
-		if tr == nil {
-			return nil, fmt.Errorf("-shape trace needs -trace")
-		}
-		times, mult, err := tr.RateShape(12)
-		if err != nil {
-			return nil, err
-		}
-		return pliant.NewReplayLoad(times, mult)
-	default:
-		return nil, fmt.Errorf("unknown shape %q (steady, diurnal, flash, trace)", kind)
-	}
-}
-
-// loadTrace parses and normalizes a trace file for replay over the horizon.
-func loadTrace(path, format string, scale float64, maxJobs int, horizonSec float64, slots int) (*pliant.ClusterTrace, error) {
-	f, err := pliant.TraceFormatByName(format)
-	if err != nil {
-		return nil, err
-	}
-	file, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer file.Close()
-	tr, err := pliant.ParseTrace(file, f)
-	if err != nil {
-		return nil, err
-	}
-	opts := pliant.TraceOptions{RateScale: scale}
-	if scale == 0 {
-		opts.TargetSpanSec = 0.9 * horizonSec
-	}
-	if maxJobs > 0 {
-		opts.MaxJobs = maxJobs
-	} else {
-		opts.MaxJobs = 2 * slots
-	}
-	return tr.Normalize(opts)
-}
-
-// buildFaultPlan assembles the run's fault plan from the flags: nil when no
-// fault knob was touched, a trace-derived MTTF/MTTR base when -trace-faults
-// is set, with the explicit flags layered on top either way.
-func buildFaultPlan(fromTrace bool, tr *pliant.ClusterTrace, horizonSec, mttf, mttr float64,
-	domain int, outageSpec string, retries int) (*pliant.FaultPlan, error) {
-	var plan pliant.FaultPlan
-	armed := false
-	if mttf < 0 || mttr < 0 {
-		return nil, fmt.Errorf("-mttf/-mttr must be non-negative virtual seconds (0 = off/default)")
-	}
-	if fromTrace {
-		if tr == nil {
-			return nil, fmt.Errorf("-trace-faults needs -trace")
-		}
-		derived, err := pliant.FaultPlanFromTrace(tr, horizonSec)
-		if err != nil {
-			return nil, err
-		}
-		plan = derived
-		armed = true
-	}
-	if mttf > 0 {
-		plan.MTTFSec = mttf
-		armed = true
-	}
-	if mttr > 0 {
-		plan.MTTRSec = mttr
-	}
-	if domain > 0 {
-		plan.DomainSize = domain
-	}
-	if retries != 0 {
-		plan.RetryBudget = retries
-	}
-	if outageSpec != "" {
-		outages, err := parseOutages(outageSpec)
-		if err != nil {
-			return nil, err
-		}
-		plan.Outages = outages
-		armed = true
-	}
-	if !armed {
-		return nil, nil
-	}
-	return &plan, nil
-}
-
 // parseOutages reads the -outage spec: comma-separated at:domain:duration
 // triples in seconds.
-func parseOutages(spec string) ([]pliant.FaultOutage, error) {
-	var outages []pliant.FaultOutage
+func parseOutages(spec string) ([]pliant.ServeOutageSpec, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var outages []pliant.ServeOutageSpec
 	for _, part := range strings.Split(spec, ",") {
-		var o pliant.FaultOutage
+		var o pliant.ServeOutageSpec
 		if _, err := fmt.Sscanf(part, "%f:%d:%f", &o.AtSec, &o.Domain, &o.DurationSec); err != nil {
 			return nil, fmt.Errorf("outage %q: want at:domain:duration (e.g. 80:1:40)", part)
 		}
 		outages = append(outages, o)
 	}
 	return outages, nil
-}
-
-func parsePolicies(name string) ([]pliant.SchedPolicy, error) {
-	switch name {
-	case "first-fit":
-		return []pliant.SchedPolicy{pliant.FirstFitPlacement{}}, nil
-	case "best-fit":
-		return []pliant.SchedPolicy{pliant.BestFitPlacement{}}, nil
-	case "spread":
-		return []pliant.SchedPolicy{pliant.SpreadPlacement{}}, nil
-	case "telemetry":
-		return []pliant.SchedPolicy{pliant.TelemetryAwarePlacement{}}, nil
-	case "all":
-		return []pliant.SchedPolicy{
-			pliant.FirstFitPlacement{},
-			pliant.BestFitPlacement{},
-			pliant.SpreadPlacement{},
-			pliant.TelemetryAwarePlacement{},
-		}, nil
-	default:
-		return nil, fmt.Errorf("unknown policy %q (first-fit, best-fit, spread, telemetry, all)", name)
-	}
 }
 
 // writeTo writes through fn to a path, "-" meaning stdout.

@@ -1,0 +1,92 @@
+// Command pliant-served is the shadow-scheduler daemon: a long-running
+// serving layer that holds named scheduling sessions open — each advanced
+// faster-than-real-time — behind an HTTP API (stdlib net/http only).
+//
+// Usage:
+//
+//	pliant-served                         # listen on :8077
+//	pliant-served -addr 127.0.0.1:9090    # custom listen address
+//	pliant-served -max-sessions 4         # bound concurrently live sessions
+//	pliant-served -version                # print the build identity
+//
+// Quickstart (see README.md for the full tour):
+//
+//	curl -s -X POST localhost:8077/v1/sessions -d '{"policies":["telemetry","first-fit"],"pace_ms":250}'
+//	curl -s -X POST localhost:8077/v1/sessions/s1/jobs -d '{"jobs":["canneal"]}'
+//	curl -N localhost:8077/v1/sessions/s1/events
+//	curl -s localhost:8077/metrics
+//
+// SIGINT/SIGTERM drains gracefully: no new sessions, every running session
+// finalizes (truncated if short of its horizon), then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	pliant "github.com/approx-sched/pliant"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8077", "listen address")
+		maxSessions = flag.Int("max-sessions", 0, "bound on concurrently live sessions (0 = default 16)")
+		showVer     = flag.Bool("version", false, "print the build identity and exit")
+	)
+	flag.Parse()
+
+	if *showVer {
+		fmt.Println(pliant.Version())
+		return
+	}
+
+	srv := pliant.NewServeServer(pliant.ServeOptions{
+		MaxSessions: *maxSessions,
+		Version:     pliant.Version(),
+	})
+	hs := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	// Bind before serving so the logged address is the real one — with
+	// -addr :0 the kernel picks the port, and scripts (the CI smoke test)
+	// read it from this line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pliant-served: %v\n", err)
+		os.Exit(1)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "pliant-served: listening on %s\n", ln.Addr())
+
+	select {
+	case <-ctx.Done():
+		// Graceful drain: finalize sessions first so in-flight SSE streams
+		// see their terminal frames, then close the listener.
+		fmt.Fprintln(os.Stderr, "pliant-served: draining")
+		srv.Drain()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "pliant-served: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+		<-errCh // ListenAndServe has returned http.ErrServerClosed
+		fmt.Fprintln(os.Stderr, "pliant-served: drained")
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "pliant-served: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

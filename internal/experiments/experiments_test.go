@@ -507,7 +507,7 @@ func TestObsExperiment(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 16 {
+	if len(reg) != 17 {
 		t.Fatalf("registry has %d entries", len(reg))
 	}
 	ids := map[string]bool{}
@@ -592,6 +592,50 @@ func TestFaultStorm(t *testing.T) {
 	}
 	out := res.Render()
 	for _, want := range []string{"degrade-under-loss", "first-fit", "telemetry", "summary:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestShadowServe is the serving-layer acceptance experiment: one arrival
+// feed fanned to three candidate policies through the daemon's shadow-replay
+// machinery must yield a verdict for every window, at least one shadow that
+// actually disagrees with the baseline, and — the tentpole claim — a
+// baseline result byte-identical to batch sched.Run on the same config.
+func TestShadowServe(t *testing.T) {
+	skipIfShort(t)
+	res, err := ShadowServe(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want telemetry-aware, first-fit, spread-first", len(res.Rows))
+	}
+	if res.Windows == 0 {
+		t.Fatal("no windows recorded")
+	}
+	if !res.ServeParity {
+		t.Error("serve-replayed baseline diverged from batch sched.Run")
+	}
+	base := res.Rows[0]
+	if base.DiffWindows != 0 || base.MaxDiff != 0 {
+		t.Errorf("baseline diffs against itself: %d windows, max %d", base.DiffWindows, base.MaxDiff)
+	}
+	var disagreed bool
+	for _, row := range res.Rows[1:] {
+		if row.DiffWindows > 0 {
+			disagreed = true
+		}
+		if row.DiffWindows > res.Windows {
+			t.Errorf("%s: %d diff windows out of %d", row.Policy, row.DiffWindows, res.Windows)
+		}
+	}
+	if !disagreed {
+		t.Error("no shadow policy ever disagreed with the baseline")
+	}
+	out := res.Render()
+	for _, want := range []string{"telemetry-aware", "first-fit", "spread-first", "baseline", "byte-identical"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q:\n%s", want, out)
 		}

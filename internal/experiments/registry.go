@@ -32,6 +32,7 @@ func Registry() []Entry {
 		{"trace", "Trace extension: policies replayed on production-shaped cluster-trace arrivals", wrap(TraceReplay)},
 		{"obs", "Observability extension: deterministic decision trace and metrics over a diurnal day", wrap(ObsTrace)},
 		{"fault", "Fault extension: first-fit vs telemetry vs degrade-under-loss through a rack outage", wrap(FaultStorm)},
+		{"shadow", "Serving extension: shadow replay fanning one feed to three policies, parity-pinned against batch", wrap(ShadowServe)},
 	}
 }
 

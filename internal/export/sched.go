@@ -44,6 +44,11 @@ type schedResultJSON struct {
 	StaleNodeWindows     int `json:"stale_node_windows,omitempty"`
 	StragglerNodeWindows int `json:"straggler_node_windows,omitempty"`
 
+	// Truncated marks a partial document flushed by an interrupted run or a
+	// drained daemon session; complete runs omit it, keeping their documents
+	// byte-identical across versions.
+	Truncated bool `json:"truncated,omitempty"`
+
 	Jobs []schedJobJSON `json:"jobs"`
 }
 
@@ -97,6 +102,8 @@ func WriteSchedResultJSON(w io.Writer, res sched.Result) error {
 		DownNodeWindows:      res.DownNodeWindows,
 		StaleNodeWindows:     res.StaleNodeWindows,
 		StragglerNodeWindows: res.StragglerNodeWindows,
+
+		Truncated: res.Truncated,
 	}
 	for _, ne := range res.NodeJoules {
 		out.NodeJoules = append(out.NodeJoules, nodeJoulesJSON{Node: ne.Node, Joules: ne.Joules})
@@ -123,7 +130,15 @@ func WriteSchedResultJSON(w io.Writer, res sched.Result) error {
 
 // WriteSchedTraceCSV writes the cluster-horizon series (queue depth,
 // utilization, running jobs, QoS-met fraction, worst p99) as a time-indexed
-// CSV table.
+// CSV table. A truncated run's table ends with a "# truncated" comment line,
+// so partial artifacts announce themselves without changing complete ones.
 func WriteSchedTraceCSV(w io.Writer, res sched.Result) error {
-	return writeTrace(w, res.Trace, []string{"queue.depth", "utilization"})
+	if err := writeTrace(w, res.Trace, []string{"queue.depth", "utilization"}); err != nil {
+		return err
+	}
+	if res.Truncated {
+		_, err := io.WriteString(w, "# truncated\n")
+		return err
+	}
+	return nil
 }

@@ -29,6 +29,56 @@ func TestTracerRingOrderAndOverflow(t *testing.T) {
 	}
 }
 
+// TestTracerRecordsSince covers the incremental drain behind the serving
+// layer's SSE feed: a cursor that trails inside the retained window resumes
+// exactly where it left off; one that trails past an overwrite skips the
+// lost records but keeps emission order; a fresh cursor re-reads nothing.
+func TestTracerRecordsSince(t *testing.T) {
+	tr := NewTracer(4)
+	emit := func(from, to int) {
+		for i := from; i < to; i++ {
+			tr.Emit(Record{At: int64(i), Kind: KindWindow, Node: -1, A: int64(i)})
+		}
+	}
+	drain := func(cursor uint64) (got []int64, next uint64) {
+		next = tr.RecordsSince(cursor, func(r Record) { got = append(got, r.A) })
+		return got, next
+	}
+
+	emit(0, 3) // not yet wrapped
+	got, cursor := drain(0)
+	if want := []int64{0, 1, 2}; !int64sEqual(got, want) || cursor != 3 {
+		t.Fatalf("unwrapped drain = %v cursor %d, want %v cursor 3", got, cursor, want)
+	}
+	if got, next := drain(cursor); got != nil || next != cursor {
+		t.Fatalf("caught-up drain = %v cursor %d, want none", got, next)
+	}
+
+	emit(3, 6) // total 6 > cap 4: wrapped, records 0..1 overwritten
+	got, cursor = drain(cursor)
+	if want := []int64{3, 4, 5}; !int64sEqual(got, want) || cursor != 6 {
+		t.Fatalf("incremental drain = %v cursor %d, want %v cursor 6", got, cursor, want)
+	}
+
+	emit(6, 16) // lap the ring: a cursor at 6 lost 6..11
+	got, cursor = drain(cursor)
+	if want := []int64{12, 13, 14, 15}; !int64sEqual(got, want) || cursor != 16 {
+		t.Fatalf("lagging drain = %v cursor %d, want %v cursor 16", got, cursor, want)
+	}
+}
+
+func int64sEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // TestTracerEmitAllocFree pins the record path at zero allocations — the
 // tracer rides the scheduler's per-decision path, so a single allocation per
 // record would dominate obs-on runs.

@@ -139,6 +139,33 @@ func (t *Tracer) CountOf(k Kind) uint64 {
 	return t.byKind[k]
 }
 
+// RecordsSince calls fn over the still-retained records emitted at or after
+// the cursor (a prior Total value), in emission order, and returns the new
+// cursor. Incremental consumers — the serving layer's SSE drain — call it
+// once per window boundary: records overwritten between drains are simply
+// gone (Dropped counts them), so a lagging consumer loses the oldest
+// records, never the ordering of the ones it gets.
+func (t *Tracer) RecordsSince(cursor uint64, fn func(Record)) uint64 {
+	if cursor >= t.n {
+		return t.n
+	}
+	oldest := t.n - uint64(len(t.ring))
+	if cursor < oldest {
+		cursor = oldest
+	}
+	if len(t.ring) > 0 {
+		base := t.n % uint64(cap(t.ring)) // write cursor == slot of the oldest retained record when wrapped
+		for i := cursor; i < t.n; i++ {
+			if t.n <= uint64(len(t.ring)) {
+				fn(t.ring[i])
+			} else {
+				fn(t.ring[(base+(i-oldest))%uint64(len(t.ring))])
+			}
+		}
+	}
+	return t.n
+}
+
 // Records calls fn over the retained records in emission order.
 func (t *Tracer) Records(fn func(Record)) {
 	if t.n <= uint64(len(t.ring)) {

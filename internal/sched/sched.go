@@ -398,6 +398,11 @@ type Result struct {
 	// profiles are deliberately excluded from the JSON/CSV exports and every
 	// golden-pinned artifact.
 	ShardProfiles []obs.ShardProfile
+
+	// Truncated marks a run finalized before its horizon — an interrupted
+	// CLI flushing partial output, or a drained daemon session. Complete
+	// runs leave it false, so the exports of a full day are unchanged.
+	Truncated bool
 }
 
 // NodeEnergy is one node's share of the cluster energy ledger.
@@ -476,95 +481,26 @@ type run struct {
 	scratch []*colocate.Scratch
 }
 
-// Run executes one online scheduling study.
+// Run executes one online scheduling study. It is the batch form of the
+// step-driven Runner: construct, pump every window, finalize. Stepping is
+// byte-identical to the previous monolithic engine run (golden-pinned), so
+// the serving daemon and this batch path cannot drift apart.
 func Run(cfg Config) (Result, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.Validate(); err != nil {
+	r, err := NewRunner(cfg)
+	if err != nil {
 		return Result{}, err
 	}
-	s := &run{
-		cfg:   cfg,
-		eng:   sim.NewEngine(),
-		rng:   sim.NewRNG(cfg.Seed),
-		trace: stats.NewTrace(),
-	}
-	s.names = cfg.JobNames
-	if len(s.names) == 0 {
-		s.names = cluster.ShuffledJobs(cfg.Seed, len(app.Names()))
-	}
-	nominalFreq := 0
-	if cfg.Energy != nil {
-		nominalFreq = cfg.Energy.Nominal()
-	}
-	for _, n := range cfg.Nodes {
-		s.nodes = append(s.nodes, &nodeRT{node: n, state: autoscale.Active, freq: nominalFreq})
-		s.slots += n.MaxApps
-	}
-	if cfg.Faults != nil {
-		s.faults = newFaultRT(cfg)
-	}
-	if cfg.Shards > 1 {
-		// Sharded multi-engine runs own one scratch per shard; the worker
-		// pool (and its per-worker scratch) is bypassed entirely.
-		s.shards = newShardGroup(s, cfg.Shards)
-		defer s.shards.close()
-	} else {
-		s.scratch = make([]*colocate.Scratch, cfg.Workers)
-		for w := range s.scratch {
-			s.scratch[w] = &colocate.Scratch{}
-		}
-	}
-	s.initObs()
-
-	arrivals := cfg.Arrivals
-	if cfg.Trace != nil {
-		// Trace replay: arrivals at the recorded instants (a fresh stream
-		// per run — the cursor is consumed), app names mapped from the
-		// trace's resource shapes so s.names[i] is exactly the i-th arrival.
-		ts, err := workload.NewTraceStream(cfg.Trace.ArrivalTimes())
+	defer r.Close()
+	for {
+		more, err := r.StepWindow()
 		if err != nil {
 			return Result{}, err
 		}
-		names, err := JobsFromTrace(cfg.Trace, cfg.JobNames)
-		if err != nil {
-			return Result{}, err
+		if !more {
+			break
 		}
-		arrivals = ts
-		s.names = names
 	}
-	if arrivals == nil {
-		p, err := workload.NewPoisson(cfg.JobsPerSec)
-		if err != nil {
-			return Result{}, err
-		}
-		arrivals = p
-	}
-	arrRNG := s.rng.Split(1)
-	var scheduleArrival func()
-	scheduleArrival = func() {
-		// Time-varying job streams (e.g. a flash crowd of arrivals) need the
-		// current instant, exactly as the request-level client does.
-		var gap sim.Duration
-		if ta, ok := arrivals.(workload.TimedArrival); ok {
-			gap = ta.NextAt(arrRNG, s.eng.Now())
-		} else {
-			gap = arrivals.Next(arrRNG)
-		}
-		s.eng.After(gap, func() {
-			s.arrive()
-			scheduleArrival()
-		})
-	}
-	scheduleArrival()
-
-	stopTick := s.eng.Ticker(cfg.Epoch, s.boundary)
-	defer stopTick()
-
-	s.eng.Run(sim.Time(cfg.Horizon))
-	if s.err != nil {
-		return Result{}, s.err
-	}
-	return s.finalize(), nil
+	return r.Finalize()
 }
 
 // arrive admits one job into the pending queue.

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// BenchmarkServeSubmit measures sustained submissions/s through the HTTP
+// ingest path into a running session: POST /v1/sessions/{id}/jobs, one job
+// per request, against a paced submission-only session. The pace keeps the
+// pump parked on its ticker between windows (the interactive regime the
+// ingest queue exists for), the horizon is effectively unbounded for the
+// benchmark's duration, and the queue is deep enough that a 429 means the
+// pump momentarily fell behind — the benchmark retries those, so ns/op
+// prices the accepted path.
+func BenchmarkServeSubmit(b *testing.B) {
+	srv := NewServer(Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	sess, err := srv.CreateSession(Spec{
+		Name:       "bench",
+		SubmitOnly: true,
+		Policies:   []string{"first-fit"},
+		HorizonSec: 1e7,
+		EpochSec:   12,
+		TimeScale:  16,
+		QueueCap:   4096,
+		PaceMS:     20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		b.StopTimer()
+		sess.Stop()
+		sess.Wait()
+	}()
+
+	url := ts.URL + "/v1/sessions/" + sess.ID + "/jobs"
+	body := `{"jobs":["canneal"]}`
+	client := ts.Client()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for {
+			resp, err := client.Post(url, "application/json", strings.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			status := resp.StatusCode
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if status == http.StatusAccepted {
+				break
+			}
+			if status != http.StatusTooManyRequests {
+				b.Fatalf("submit %d: status %d", i, status)
+			}
+		}
+	}
+	b.StopTimer()
+	st := sess.Status()
+	if st.Accepted < b.N {
+		b.Fatalf("accepted %d < %d submitted", st.Accepted, b.N)
+	}
+	b.ReportMetric(float64(st.Accepted)/b.Elapsed().Seconds(), "submits/s")
+}

@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"fmt"
+
+	"github.com/approx-sched/pliant/internal/sched"
+)
+
+// ShadowOutcome is the offline form of a shadow replay: the finalized
+// per-policy results, the per-window verdict diffs, and the policy names in
+// engine order (index 0 is the baseline).
+type ShadowOutcome struct {
+	Policies []string
+	Results  []sched.Result
+	Verdicts []WindowVerdict
+}
+
+// ShadowReplay fans one arrival feed out to the spec's candidate policies in
+// lockstep and blocks until the horizon — the session machinery without the
+// HTTP layer, for experiments, examples, and tests. Determinism carries
+// over: each policy's Result is byte-identical to batch sched.Run on the
+// same config.
+func ShadowReplay(sp Spec) (*ShadowOutcome, error) {
+	res, err := sp.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	sess, err := NewSession("shadow", res, nil)
+	if err != nil {
+		return nil, err
+	}
+	sess.Wait()
+	results, ok := sess.Results()
+	if !ok {
+		return nil, fmt.Errorf("serve: shadow replay failed: %s", sess.Status().Error)
+	}
+	return &ShadowOutcome{
+		Policies: sess.Policies(),
+		Results:  results,
+		Verdicts: sess.Verdicts(),
+	}, nil
+}

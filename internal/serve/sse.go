@@ -1,0 +1,80 @@
+package serve
+
+import "sync"
+
+// hub fans a session's event stream out to Server-Sent-Events subscribers.
+// Only the session's pump goroutine publishes, so every subscriber sees
+// events in emission order; each subscriber owns a bounded buffered channel,
+// and one that falls further behind than the buffer is disconnected (its
+// channel closed) rather than allowed to stall the pump — the HTTP handler
+// reports the drop to the client, which can reconnect.
+type hub struct {
+	mu     sync.Mutex
+	subs   map[chan []byte]bool
+	closed bool
+}
+
+// subBuffer bounds each subscriber's in-flight frames. A session emits a few
+// frames per window; 256 rides out multi-window handler stalls.
+const subBuffer = 256
+
+func newHub() *hub {
+	return &hub{subs: make(map[chan []byte]bool)}
+}
+
+// subscribe registers a new subscriber. The returned channel closes when the
+// hub closes (session over) or the subscriber is dropped for lagging; done
+// reports true for the latter.
+func (h *hub) subscribe() (ch chan []byte, closed bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, true
+	}
+	ch = make(chan []byte, subBuffer)
+	h.subs[ch] = true
+	return ch, false
+}
+
+// unsubscribe detaches a subscriber (client went away).
+func (h *hub) unsubscribe(ch chan []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.subs[ch] {
+		delete(h.subs, ch)
+		close(ch)
+	}
+}
+
+// publish delivers one pre-rendered SSE frame to every subscriber, dropping
+// subscribers whose buffers are full.
+func (h *hub) publish(frame []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	for ch := range h.subs {
+		select {
+		case ch <- frame:
+		default:
+			delete(h.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// close ends the stream: every subscriber channel closes after its buffered
+// frames drain.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for ch := range h.subs {
+		delete(h.subs, ch)
+		close(ch)
+	}
+}

@@ -1,0 +1,48 @@
+// Package version renders the one-line build identity every pliant CLI and
+// the serving daemon print for -version. Everything comes from the build
+// info the go toolchain embeds (runtime/debug.ReadBuildInfo) — no ldflags,
+// no generated files — so the string is accurate for plain `go build` and
+// `go install` alike.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// String returns "<module> <version> (<go version>[, <vcs> <rev>[ dirty]])".
+// The module version is "(devel)" for in-tree builds; when VCS stamping is
+// available the revision (trimmed to 12 chars) and dirty flag are appended.
+func String() string {
+	mod, ver := "github.com/approx-sched/pliant", "(devel)"
+	var vcsBits []string
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Path != "" {
+			mod = bi.Main.Path
+		}
+		if bi.Main.Version != "" {
+			ver = bi.Main.Version
+		}
+		var rev, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = " dirty"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			vcsBits = append(vcsBits, fmt.Sprintf("rev %s%s", rev, dirty))
+		}
+	}
+	parts := append([]string{runtime.Version()}, vcsBits...)
+	return fmt.Sprintf("%s %s (%s)", mod, ver, strings.Join(parts, ", "))
+}

@@ -57,12 +57,18 @@ import (
 	"github.com/approx-sched/pliant/internal/obs"
 	"github.com/approx-sched/pliant/internal/platform"
 	"github.com/approx-sched/pliant/internal/sched"
+	"github.com/approx-sched/pliant/internal/serve"
 	"github.com/approx-sched/pliant/internal/service"
 	"github.com/approx-sched/pliant/internal/sim"
 	"github.com/approx-sched/pliant/internal/stats"
 	"github.com/approx-sched/pliant/internal/trace"
+	"github.com/approx-sched/pliant/internal/version"
 	"github.com/approx-sched/pliant/internal/workload"
 )
+
+// Version returns the one-line build identity every pliant CLI prints for
+// -version, derived from the toolchain's embedded build info.
+func Version() string { return version.String() }
 
 // Core simulation types.
 type (
@@ -440,6 +446,20 @@ func WriteSchedTraceCSV(w io.Writer, res SchedResult) error {
 	return export.WriteSchedTraceCSV(w, res)
 }
 
+// Step-driven scheduling (the serving layer's engine surface): a SchedRunner
+// holds one online run open and advances it one scheduling window at a time,
+// with live snapshots and mid-run job injection. Driving a runner to its
+// horizon is byte-identical to RunSched on the same config.
+type (
+	// SchedRunner is one open, step-driven online scheduling run.
+	SchedRunner = sched.Runner
+	// SchedSnapshot is a runner's live mid-run view.
+	SchedSnapshot = sched.Snapshot
+)
+
+// NewSchedRunner validates the config and opens a step-driven run.
+func NewSchedRunner(cfg SchedConfig) (*SchedRunner, error) { return sched.NewRunner(cfg) }
+
 // Fault injection and recovery (internal/fault): seeded, virtual-time
 // failures wired through the online scheduler. A FaultPlan attached via
 // SchedConfig.Faults compiles — purely from the run seed — into a typed event
@@ -547,6 +567,56 @@ func WriteMetricsProm(w io.Writer, r *ObsRegistry) error { return obs.WriteMetri
 // one row per scheduling boundary.
 func WriteMetricsCSV(w io.Writer, r *ObsRegistry) error { return obs.WriteMetricsCSV(w, r) }
 
+// The serving layer (internal/serve): a long-running shadow-scheduler daemon
+// over the step-driven engine. A ServeServer manages named sessions — each
+// one or more lockstep engines advanced faster-than-real-time on a session
+// goroutine — behind an HTTP API (cmd/pliant-served): JSON session specs,
+// bounded ingest queues with 429 backpressure, Server-Sent-Events decision
+// streams, and Prometheus metrics. A session with several candidate policies
+// is a shadow replay with per-window verdict diffs; ShadowReplay is its
+// offline, HTTP-free form. Sessions replayed through the daemon export
+// byte-identical JSON/CSV to batch RunSched.
+type (
+	// ServeServer is the daemon: session manager + http.Handler.
+	ServeServer = serve.Server
+	// ServeOptions tunes a ServeServer.
+	ServeOptions = serve.Options
+	// ServeSpec is the JSON form of one session's configuration — the same
+	// surface the pliant-sched flags expose, resolved by the same code.
+	ServeSpec = serve.Spec
+	// ServeTraceSpec carries a production trace in a session spec.
+	ServeTraceSpec = serve.TraceSpec
+	// ServeSynthSpec tunes the spec's trace fixture generator.
+	ServeSynthSpec = serve.SynthSpec
+	// ServeOutageSpec is one scripted outage in a session spec.
+	ServeOutageSpec = serve.OutageSpec
+	// ServeResolved is a spec lowered onto the scheduler's native config.
+	ServeResolved = serve.Resolved
+	// ServeSession is one live session.
+	ServeSession = serve.Session
+	// ServeSessionStatus is a session's JSON status view.
+	ServeSessionStatus = serve.SessionStatus
+	// ShadowOutcome is a finished shadow replay: results + verdicts.
+	ShadowOutcome = serve.ShadowOutcome
+	// ShadowWindowVerdict is one window's cross-policy diff.
+	ShadowWindowVerdict = serve.WindowVerdict
+	// ShadowPolicyVerdict is one policy's slice of a window verdict.
+	ShadowPolicyVerdict = serve.PolicyVerdict
+)
+
+// NewServeServer returns an empty session manager; mount it on any net/http
+// server (it implements http.Handler) or call its ListenAndServe.
+func NewServeServer(opts ServeOptions) *ServeServer { return serve.NewServer(opts) }
+
+// ResolveServeSpec lowers a session spec exactly as the pliant-sched flags
+// would — the shared configuration surface of the CLI and the daemon.
+func ResolveServeSpec(sp ServeSpec) (ServeResolved, error) { return sp.Resolve() }
+
+// RunShadowReplay fans one arrival feed out to the spec's candidate policies
+// in lockstep and blocks until the horizon — a daemon session without the
+// daemon.
+func RunShadowReplay(sp ServeSpec) (*ShadowOutcome, error) { return serve.ShadowReplay(sp) }
+
 // Experiments.
 type (
 	// ExperimentProfile selects the execution scale of experiments.
@@ -569,7 +639,7 @@ func Experiments() []ExperimentEntry { return experiments.Registry() }
 
 // RunExperiment runs one experiment by ID ("table1", "fig1dse", "fig1impact",
 // "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "overhead",
-// "sched", "energy", "trace", "obs").
+// "sched", "energy", "trace", "obs", "fault", "shadow").
 func RunExperiment(id string, p ExperimentProfile) (Renderer, error) {
 	e, err := experiments.ByID(id)
 	if err != nil {

@@ -131,7 +131,7 @@ func (pinMost) Decide(s pliant.PolicySnapshot) []pliant.PolicyAction {
 }
 
 func TestPublicExperimentRegistry(t *testing.T) {
-	if len(pliant.Experiments()) != 16 {
+	if len(pliant.Experiments()) != 17 {
 		t.Fatalf("registry size %d", len(pliant.Experiments()))
 	}
 	p := pliant.FastProfile()
