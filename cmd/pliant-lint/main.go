@@ -1,0 +1,122 @@
+// Command pliant-lint runs the repo's determinism and hot-path invariant
+// analyzers (internal/lint) over Go packages and reports violations as
+// "file:line: [rule] message" lines (paths relative to the module root).
+//
+// The suite enforces the reproducibility contract as a source property:
+// no wall-clock reads in virtual-time packages (wallclock), no global
+// math/rand in internal/ (unseededrand), no map-iteration order leaking
+// into ordered output (maporder), and no goroutines outside the sanctioned
+// concurrency files (spawn). Findings are suppressed in place with
+// reasoned "//pliant:allow <rule> — reason" comments.
+//
+// Usage:
+//
+//	pliant-lint ./...                        # whole module (testdata skipped)
+//	pliant-lint ./internal/sched ./internal/sim
+//	pliant-lint -json ./... > lint.json
+//	pliant-lint -rules                       # print the rule catalog
+//
+// Exit status: 0 clean, 1 diagnostics found, 2 usage or load error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/approx-sched/pliant/internal/lint"
+	"github.com/approx-sched/pliant/internal/version"
+)
+
+func main() {
+	var (
+		jsonOut     = flag.Bool("json", false, "emit diagnostics as JSON")
+		listRules   = flag.Bool("rules", false, "print the rule catalog and exit")
+		showVersion = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
+	rules := lint.DefaultRules()
+	if *listRules {
+		for _, r := range rules {
+			fmt.Printf("%-14s %s\n", r.Name(), r.Doc())
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var dirs []string
+	for _, pat := range patterns {
+		if base, ok := strings.CutSuffix(pat, "/..."); ok {
+			if base == "" || base == "." {
+				base = cwd
+			}
+			sub, err := loader.Walk(base)
+			if err != nil {
+				fatal(err)
+			}
+			dirs = append(dirs, sub...)
+			continue
+		}
+		dirs = append(dirs, pat)
+	}
+
+	var pkgs []*lint.Package
+	for _, dir := range dirs {
+		p, err := loader.Load(dir)
+		if err != nil {
+			fatal(err)
+		}
+		pkgs = append(pkgs, p)
+	}
+
+	diags := lint.Run(pkgs, rules)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Packages    int               `json:"packages"`
+			Diagnostics []lint.Diagnostic `json:"diagnostics"`
+		}{len(pkgs), diags}); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "pliant-lint: %d finding(s) in %d package(s)\n",
+				len(diags), len(pkgs))
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pliant-lint:", err)
+	os.Exit(2)
+}

@@ -300,6 +300,7 @@ func Run(cfg Config) (Result, error) {
 	for i, node := range cfg.Nodes {
 		i, node := i, node
 		wg.Add(1)
+		//pliant:allow spawn — deterministic fan-out: per-node seeds derive from (cfg.Seed, i) and results land in disjoint slots by node index
 		go func() {
 			defer wg.Done()
 			nr := NodeResult{Node: node.Name, Service: node.Service.String(), Apps: perNode[i]}

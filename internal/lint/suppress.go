@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"strings"
+)
+
+// allow is one parsed //pliant:allow comment. A well-formed comment names
+// the suppressed rule(s) and gives a reason:
+//
+//	//pliant:allow wallclock — profiler measures real episode runtime
+//
+// Malformed is non-empty when the comment is missing its rule name or
+// reason; the runner reports that as a diagnostic, because an escape hatch
+// nobody can audit is worse than none.
+type allow struct {
+	File      string
+	Line, Col int
+	Rules     []string
+	Malformed string
+}
+
+const allowPrefix = "pliant:allow"
+
+// collectAllows parses every //pliant:allow comment in the package. The
+// raw comment text is inspected (not ast.CommentGroup.Text, which strips
+// directive-style comments).
+func collectAllows(p *Package) []allow {
+	var out []allow
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(strings.TrimPrefix(text, "/*"))
+				text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+				rest, ok := strings.CutPrefix(text, allowPrefix)
+				if !ok {
+					continue
+				}
+				a := parseAllow(rest)
+				a.File, a.Line, a.Col = p.RelFile(c.Pos())
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// parseAllow parses the text after "pliant:allow": rule names (comma
+// separated), a dash separator, and a free-form reason.
+func parseAllow(rest string) allow {
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return allow{Malformed: "pliant:allow needs a rule name and a reason (\"//pliant:allow <rule> — <reason>\")"}
+	}
+	nameEnd := strings.IndexFunc(rest, func(r rune) bool {
+		return r == ' ' || r == '\t'
+	})
+	var names, reason string
+	if nameEnd < 0 {
+		names, reason = rest, ""
+	} else {
+		names, reason = rest[:nameEnd], rest[nameEnd:]
+	}
+	reason = strings.TrimLeftFunc(reason, func(r rune) bool {
+		return r == ' ' || r == '\t' || r == '—' || r == '–' || r == '-' || r == ':'
+	})
+	a := allow{Rules: strings.Split(names, ",")}
+	for i, n := range a.Rules {
+		a.Rules[i] = strings.TrimSpace(n)
+	}
+	if strings.TrimSpace(reason) == "" {
+		a.Malformed = "pliant:allow " + names + " has no reason; unexplained suppressions are not auditable"
+	}
+	return a
+}
+
+// suppressed reports whether d is covered by an allow comment: same file,
+// matching rule, on the diagnostic's line (end-of-line form) or the line
+// above it (standalone form).
+func suppressed(allows []allow, d Diagnostic) bool {
+	for _, a := range allows {
+		if a.Malformed != "" || a.File != d.File {
+			continue
+		}
+		if d.Line != a.Line && d.Line != a.Line+1 {
+			continue
+		}
+		for _, r := range a.Rules {
+			if r == d.Rule {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,70 @@
+// Package schedfix is a lint fixture: map-iteration order leaking into
+// ordered output in a deterministic package ("sched" path segment), next
+// to the order-independent shapes that must stay legal.
+package schedfix
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Collect leaks: appending map entries in iteration order makes the slice
+// order a per-process coin flip.
+func Collect(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `\[maporder\] range over map feeds ordered output \(append`
+		out = append(out, v)
+	}
+	return out
+}
+
+// Emit leaks straight into output bytes.
+func Emit(w *strings.Builder, m map[string]int) {
+	for k, v := range m { // want `\[maporder\] range over map feeds ordered output \(call to Fprintf`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Fill leaks through slice element writes at a rolling cursor.
+func Fill(m map[string]int, dst []int) {
+	i := 0
+	for _, v := range m { // want `\[maporder\] range over map feeds ordered output \(slice element write`
+		dst[i] = v
+		i++
+	}
+}
+
+// Join leaks through string accumulation.
+func Join(m map[string]bool) string {
+	s := ""
+	for k := range m { // want `\[maporder\] range over map feeds ordered output \(string accumulation`
+		s += k
+	}
+	return s
+}
+
+// Invert is legal: writes keyed back into a map build per-key state, not a
+// sequence — no order leaks.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Sorted is the sanctioned fix itself: harvest keys, sort, then iterate.
+// The harvest loop must not be flagged.
+func Sorted(m map[string]int) []int {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}

@@ -1,0 +1,21 @@
+// Package pumpfix is a lint fixture: goroutines outside the sanctioned
+// concurrency files.
+package pumpfix
+
+import "sync"
+
+// Fan spawns unsanctioned goroutines: concurrency without a merge
+// discipline is where nondeterminism enters.
+func Fan(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want `\[spawn\] go statement outside the sanctioned concurrency files`
+			defer wg.Done()
+		}()
+	}
+	go drain(&wg) // want `\[spawn\] go statement outside the sanctioned concurrency files`
+	wg.Wait()
+}
+
+func drain(wg *sync.WaitGroup) { wg.Wait() }

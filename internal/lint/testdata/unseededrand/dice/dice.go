@@ -1,0 +1,35 @@
+// Package dicefix is a lint fixture: global math/rand draws (banned under
+// internal/) next to the sanctioned seeded-source flow (legal).
+package dicefix
+
+import "math/rand"
+
+// Roll draws from the process-global source: unseeded, shared, invisible
+// to any run config.
+func Roll() int {
+	rand.Seed(42)             // want `\[unseededrand\] rand\.Seed draws from the process-global source`
+	n := rand.Intn(6)         // want `\[unseededrand\] rand\.Intn draws from the process-global source`
+	if rand.Float64() > 0.5 { // want `\[unseededrand\] rand\.Float64 draws from the process-global source`
+		n++
+	}
+	return n
+}
+
+// Seeded is the sanctioned flow: an explicit source built from a seed the
+// caller owns. Constructors and method calls must not be flagged.
+func Seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+// fake has rand-shaped methods for the shadowing decoy below.
+type fake struct{}
+
+func (fake) Intn(n int) int { return n - 1 }
+
+// Decoy shadows the package name with a local; go/types resolution must
+// see a variable, not the math/rand qualifier.
+func Decoy() int {
+	rand := fake{}
+	return rand.Intn(3)
+}

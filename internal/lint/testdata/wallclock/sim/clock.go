@@ -1,0 +1,35 @@
+// Package simfix is a lint fixture: wall-clock reads in a virtual-time
+// package ("sim" path segment). Every flagged line carries a want comment;
+// the duration arithmetic at the bottom must stay clean.
+package simfix
+
+import "time"
+
+// Epoch is legal: representing durations is fine, observing time is not.
+const Epoch = 250 * time.Millisecond
+
+// Stamp reads the host clock three ways; the linter must pin each line.
+func Stamp() time.Duration {
+	t0 := time.Now()      // want `\[wallclock\] time\.Now reads the host clock`
+	time.Sleep(Epoch)     // want `\[wallclock\] time\.Sleep reads the host clock`
+	return time.Since(t0) // want `\[wallclock\] time\.Since reads the host clock`
+}
+
+// Park arms wall-clock timers, which are just deferred clock reads.
+func Park() {
+	<-time.After(Epoch)       // want `\[wallclock\] time\.After reads the host clock`
+	t := time.NewTimer(Epoch) // want `\[wallclock\] time\.NewTimer reads the host clock`
+	t.Stop()
+}
+
+// clock is a decoy: a selector named Now on a non-time value must not trip
+// the rule, because resolution goes through go/types, not string matching.
+type clock struct{}
+
+func (clock) Now() int { return 0 }
+
+// Decoy exercises the decoy selector and shadows the time package name.
+func Decoy() int {
+	time := clock{}
+	return time.Now()
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// randGlobalFuncs are the package-level math/rand (and math/rand/v2)
+// functions that draw from the shared, implicitly seeded source. Calls on
+// an explicit *rand.Rand value are fine — the rule distinguishes the two by
+// resolving the qualifier, so a variable named rand is never misflagged and
+// a renamed import never escapes. Constructors (New, NewSource, NewZipf,
+// NewPCG, NewChaCha8) stay legal: they are how seeded sources get built.
+var randGlobalFuncs = map[string]bool{
+	// math/rand
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+	// math/rand/v2 additions
+	"N": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "Uint": true, "UintN": true,
+	"Uint32N": true, "Uint64N": true,
+}
+
+// ruleUnseededRand bans the global math/rand functions everywhere under
+// internal/. The global source is process-wide state: seeded once (or, in
+// v2, unseedably), shared across goroutines, and invisible to the run
+// config — three separate ways for two "identical" runs to diverge. All
+// randomness must flow from an explicit seeded source (*rand.Rand,
+// sim.Mix64) that the config owns.
+type ruleUnseededRand struct{}
+
+func (ruleUnseededRand) Name() string { return "unseededrand" }
+
+func (ruleUnseededRand) Doc() string {
+	return "no global math/rand functions in internal/; all randomness must " +
+		"flow from an explicit seeded source (*rand.Rand, sim.Mix64)"
+}
+
+func (ruleUnseededRand) Applies(pkgPath string) bool {
+	return hasSegment(pkgPath, "internal")
+}
+
+func (ruleUnseededRand) Check(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok || !randGlobalFuncs[sel.Sel.Name] {
+				return true
+			}
+			q := p.PkgQualifier(f, x)
+			if q != "math/rand" && q != "math/rand/v2" {
+				return true
+			}
+			out = append(out, p.diag("unseededrand", sel.Pos(),
+				"rand.%s draws from the process-global source; thread a seeded "+
+					"*rand.Rand (or sim.Mix64) from the run config instead",
+				sel.Sel.Name))
+			return true
+		})
+	}
+	return out
+}

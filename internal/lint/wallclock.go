@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// virtualTimeSegments are the package-path elements naming the virtual-time
+// world: packages whose behavior must be a pure function of (config, seed).
+// A wall clock read anywhere in them leaks host timing into simulation
+// state, which is exactly the class of bug the shard barrier, obs-off
+// goldens, and daemon-vs-batch parity tests exist to catch after the fact.
+var virtualTimeSegments = []string{
+	"sim", "sched", "cluster", "colocate", "fault",
+	"energy", "trace", "workload", "serve",
+}
+
+// wallclockFuncs are the time package entry points that read or park on the
+// host clock. time.Duration arithmetic and constants stay legal — the rule
+// bans observing real time, not representing durations.
+var wallclockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// ruleWallclock bans wall-clock reads in virtual-time packages. The
+// sanctioned exceptions — the shard/episode profiler, which measures real
+// runtime for obs reporting and never feeds simulation state, and the
+// serving layer's opt-in pace ticker — carry //pliant:allow comments.
+type ruleWallclock struct{}
+
+func (ruleWallclock) Name() string { return "wallclock" }
+
+func (ruleWallclock) Doc() string {
+	return "no time.Now/Since/Sleep (or timers) in virtual-time packages; " +
+		"simulated behavior must be a pure function of config and seed"
+}
+
+func (ruleWallclock) Applies(pkgPath string) bool {
+	return hasSegment(pkgPath, "internal") &&
+		hasAnySegment(pkgPath, virtualTimeSegments)
+}
+
+func (ruleWallclock) Check(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok || !wallclockFuncs[sel.Sel.Name] {
+				return true
+			}
+			if p.PkgQualifier(f, x) != "time" {
+				return true
+			}
+			out = append(out, p.diag("wallclock", sel.Pos(),
+				"time.%s reads the host clock in a virtual-time package; "+
+					"derive timing from sim.Time (or annotate a profiler site with //pliant:allow)",
+				sel.Sel.Name))
+			return true
+		})
+	}
+	return out
+}

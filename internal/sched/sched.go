@@ -790,7 +790,7 @@ func (s *run) simulateWindow(now sim.Time) {
 		}
 		var t0 time.Time
 		if prof != nil {
-			t0 = time.Now()
+			t0 = time.Now() //pliant:allow wallclock — profiler measures real pool runtime for obs; never feeds sim state
 		}
 		runPool(s.cfg.Workers, len(busyIdx), func(worker, k int) {
 			i := busyIdx[k]
@@ -805,6 +805,7 @@ func (s *run) simulateWindow(now sim.Time) {
 			s.foldEpisode(i, ep, winStart, &ws)
 		}
 		if prof != nil {
+			//pliant:allow wallclock — closes the profiler span opened above; obs-only measurement
 			prof.AddEpisode(0, len(busyIdx), time.Since(t0).Nanoseconds())
 		}
 	}

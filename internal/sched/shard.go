@@ -116,7 +116,7 @@ func (g *shardGroup) advance(now sim.Time, busyIdx []int) cluster.WindowStats {
 	}
 	var t0 time.Time
 	if g.prof != nil {
-		t0 = time.Now()
+		t0 = time.Now() //pliant:allow wallclock — profiler measures the real barrier span for obs; never feeds sim state
 	}
 	g.wg.Add(len(g.shards))
 	for _, sh := range g.shards {
@@ -126,6 +126,7 @@ func (g *shardGroup) advance(now sim.Time, busyIdx []int) cluster.WindowStats {
 	if g.prof != nil {
 		// The barrier spans the slowest shard; every other shard's idle
 		// share of that span is its barrier wait — the imbalance measure.
+		//pliant:allow wallclock — closes the profiler span opened above; obs-only measurement
 		span := time.Since(t0).Nanoseconds()
 		for _, sh := range g.shards {
 			g.prof.AddBarrierWait(sh.id, span-sh.busyNs)
@@ -160,7 +161,7 @@ func (sh *shardRT) window(now sim.Time) {
 	prof := sh.g.prof
 	var t0 time.Time
 	if prof != nil {
-		t0 = time.Now()
+		t0 = time.Now() //pliant:allow wallclock — profiler measures real shard-window runtime for obs; never feeds sim state
 	}
 	sh.ws = cluster.WindowStats{}
 	start := now.Add(-sh.g.s.cfg.Epoch)
@@ -169,6 +170,7 @@ func (sh *shardRT) window(now sim.Time) {
 	}
 	sh.eng.Run(now)
 	if prof != nil {
+		//pliant:allow wallclock — closes the profiler span opened above; obs-only measurement
 		sh.busyNs = time.Since(t0).Nanoseconds()
 		prof.AddEpisode(sh.id, len(sh.busy), sh.busyNs)
 	}

@@ -170,6 +170,7 @@ func (s *Session) pump() {
 	defer close(s.doneCh)
 	var tick *time.Ticker
 	if s.res.PaceMS > 0 {
+		//pliant:allow wallclock — pace_ms is opt-in real-time pacing for wall-clock consumers; windows advance identically with or without it
 		tick = time.NewTicker(time.Duration(s.res.PaceMS) * time.Millisecond)
 		defer tick.Stop()
 	}
