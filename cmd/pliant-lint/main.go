@@ -2,19 +2,25 @@
 // analyzers (internal/lint) over Go packages and reports violations as
 // "file:line: [rule] message" lines (paths relative to the module root).
 //
-// The suite enforces the reproducibility contract as a source property:
-// no wall-clock reads in virtual-time packages (wallclock), no global
-// math/rand in internal/ (unseededrand), no map-iteration order leaking
-// into ordered output (maporder), and no goroutines outside the sanctioned
-// concurrency files (spawn). Findings are suppressed in place with
-// reasoned "//pliant:allow <rule> — reason" comments.
+// The suite enforces the reproducibility contract as a source property.
+// Four syntactic rules: no wall-clock reads in virtual-time packages
+// (wallclock), no global math/rand in internal/ (unseededrand), no
+// map-iteration order leaking into ordered output (maporder), and no
+// goroutines outside the sanctioned concurrency files (spawn). Four
+// dataflow rules over the two-phase fact engine: seed provenance
+// (seedflow), shard state ownership (sharedstate), float summation order
+// (floatorder), and the //pliant:hotpath allocation gate (hotpathalloc).
+// Findings are suppressed in place with reasoned
+// "//pliant:allow <rule> — reason" comments.
 //
 // Usage:
 //
 //	pliant-lint ./...                        # whole module (testdata skipped)
 //	pliant-lint ./internal/sched ./internal/sim
-//	pliant-lint -json ./... > lint.json
-//	pliant-lint -rules                       # print the rule catalog
+//	pliant-lint -rules seedflow,sharedstate ./...
+//	pliant-lint -json ./... > lint.json      # sorted diagnostics + hotpath set
+//	pliant-lint -facts-debug ./internal/sched
+//	pliant-lint -catalog                     # print the rule catalog
 //
 // Exit status: 0 clean, 1 diagnostics found, 2 usage or load error.
 package main
@@ -26,28 +32,37 @@ import (
 	"os"
 	"strings"
 
+	pliant "github.com/approx-sched/pliant"
 	"github.com/approx-sched/pliant/internal/lint"
-	"github.com/approx-sched/pliant/internal/version"
 )
 
 func main() {
 	var (
 		jsonOut     = flag.Bool("json", false, "emit diagnostics as JSON")
-		listRules   = flag.Bool("rules", false, "print the rule catalog and exit")
-		showVersion = flag.Bool("version", false, "print version and exit")
+		ruleList    = flag.String("rules", "", "comma-separated rule names to run (default: all)")
+		catalog     = flag.Bool("catalog", false, "print the rule catalog and exit")
+		factsDebug  = flag.Bool("facts-debug", false, "dump the computed fact set instead of linting")
+		showVersion = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
 
 	if *showVersion {
-		fmt.Println(version.String())
+		fmt.Println(pliant.Version())
 		return
 	}
 	rules := lint.DefaultRules()
-	if *listRules {
+	if *catalog {
 		for _, r := range rules {
 			fmt.Printf("%-14s %s\n", r.Name(), r.Doc())
 		}
 		return
+	}
+	if *ruleList != "" {
+		var err error
+		rules, err = selectRules(rules, *ruleList)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	cwd, err := os.Getwd()
@@ -83,23 +98,34 @@ func main() {
 		dirs = append(dirs, pat)
 	}
 
-	var pkgs []*lint.Package
-	for _, dir := range dirs {
-		p, err := loader.Load(dir)
-		if err != nil {
-			fatal(err)
-		}
-		pkgs = append(pkgs, p)
+	pkgs, err := loader.LoadAll(dirs)
+	if err != nil {
+		fatal(err)
 	}
 
-	diags := lint.Run(pkgs, rules)
+	facts := lint.ComputeFacts(pkgs)
+	if *factsDebug {
+		facts.DebugDump(os.Stdout)
+		return
+	}
+
+	diags := lint.RunWithFacts(pkgs, rules, facts)
+	if diags == nil {
+		diags = []lint.Diagnostic{} // a clean tree renders as [], not null
+	}
 	if *jsonOut {
+		names := make([]string, len(rules))
+		for i, r := range rules {
+			names[i] = r.Name()
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(struct {
 			Packages    int               `json:"packages"`
+			Rules       []string          `json:"rules"`
+			Hotpaths    []string          `json:"hotpaths"`
 			Diagnostics []lint.Diagnostic `json:"diagnostics"`
-		}{len(pkgs), diags}); err != nil {
+		}{len(pkgs), names, facts.Hotpaths(), diags}); err != nil {
 			fatal(err)
 		}
 	} else {
@@ -114,6 +140,36 @@ func main() {
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
+}
+
+// selectRules filters the catalog down to a comma-separated name list,
+// preserving catalog order and rejecting unknown names.
+func selectRules(all []lint.Rule, csv string) ([]lint.Rule, error) {
+	byName := make(map[string]lint.Rule, len(all))
+	for _, r := range all {
+		byName[r.Name()] = r
+	}
+	want := make(map[string]bool)
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, ok := byName[name]; !ok {
+			return nil, fmt.Errorf("unknown rule %q (see -catalog)", name)
+		}
+		want[name] = true
+	}
+	var out []lint.Rule
+	for _, r := range all {
+		if want[r.Name()] {
+			out = append(out, r)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-rules %q selects no rules", csv)
+	}
+	return out, nil
 }
 
 func fatal(err error) {

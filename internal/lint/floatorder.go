@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ruleFloatOrder flags non-associative float64 accumulation wherever the
+// summation order is not deterministic. Floating-point addition does not
+// associate: (a+b)+c and a+(b+c) differ in the last bits, so a float sum's
+// bytes are a function of its iteration order. Two shapes leak order:
+//
+//   - `sum += x` (or `sum = sum + x`) inside a `range` over a map, in the
+//     ordered packages whose bytes are the contract — map iteration order
+//     is randomized per process, so the sum differs run to run;
+//   - float accumulation into shared state from a shard-parallel function
+//     (see facts.go): even when synchronized, goroutine interleaving picks
+//     the summation order, so the fold differs shard-count to shard-count.
+//
+// The sanctioned fixes stay legal by construction: collect-then-sort sums
+// range over a sorted key slice (not a map), and per-shard accumulation
+// into shard-owned state merged in fixed shard order at the barrier writes
+// only depth-1 receiver fields (within a shard the engine's FIFO tiebreak
+// fixes the order, and the barrier merge fixes the cross-shard order).
+type ruleFloatOrder struct{}
+
+func (ruleFloatOrder) Name() string { return "floatorder" }
+
+func (ruleFloatOrder) Doc() string {
+	return "no float64 accumulation in map-iteration order (ordered " +
+		"packages) or into shared state from shard-parallel functions; " +
+		"summation order changes bytes — collect and sort, or fold per " +
+		"shard and merge in fixed order"
+}
+
+func (ruleFloatOrder) Applies(pkgPath string) bool {
+	return hasSegment(pkgPath, "internal")
+}
+
+func (ruleFloatOrder) Check(p *Package) []Diagnostic { return nil }
+
+func (ruleFloatOrder) CheckFacts(p *Package, fs *FactSet) []Diagnostic {
+	var out []Diagnostic
+	// Map-order leakage matters where bytes are the contract.
+	if hasAnySegment(p.Path, orderedSegments) {
+		out = append(out, p.mapRangeFloatSums()...)
+	}
+	// Interleaving-order leakage matters wherever shard-parallel code runs.
+	pf := fs.Pkg(p.Path)
+	if pf == nil {
+		return out
+	}
+	keys := make([]string, 0, len(pf.Funcs))
+	for k := range pf.Funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !fs.IsParallel(k) {
+			continue
+		}
+		ff := pf.Funcs[k]
+		out = append(out, p.parallelFloatSums(ff, effectiveFrame(fs, ff))...)
+	}
+	return out
+}
+
+// mapRangeFloatSums flags float accumulation statements lexically inside a
+// range over a map.
+func (p *Package) mapRangeFloatSums() []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !p.isMapType(rs.X) {
+				return true
+			}
+			ast.Inspect(rs.Body, func(m ast.Node) bool {
+				as, ok := m.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				if lhs, ok := p.floatAccumTarget(as); ok {
+					out = append(out, p.diag("floatorder", as.Pos(),
+						"float accumulation into %q in map-iteration order; "+
+							"float addition is non-associative and map order is randomized — collect keys, sort, then sum",
+						types.ExprString(lhs)))
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// parallelFloatSums flags float accumulation into shared-classified targets
+// inside one shard-parallel function (nested literals are checked under
+// their own keys); targets are classified against the frame whose
+// goroutine runs the body (see effectiveFrame).
+func (p *Package) parallelFloatSums(ff, frame *FuncFact) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(ff.body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			return lit.Body == ff.body
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		lhs, ok := p.floatAccumTarget(as)
+		if !ok {
+			return true
+		}
+		if _, shared := p.classifyWrite(frame, lhs); !shared {
+			return true
+		}
+		out = append(out, p.diag("floatorder", as.Pos(),
+			"float accumulation into shared %q from a shard-parallel function; "+
+				"goroutine interleaving picks the summation order — fold per shard, merge in fixed shard order",
+			types.ExprString(lhs)))
+		return true
+	})
+	return out
+}
+
+// floatAccumTarget reports whether as is a float accumulation — `x += e`,
+// `x -= e`, or `x = x ± e` — returning the accumulator expression.
+func (p *Package) floatAccumTarget(as *ast.AssignStmt) (ast.Expr, bool) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, false
+	}
+	lhs := as.Lhs[0]
+	if !p.isFloatExpr(lhs) {
+		return nil, false
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		return lhs, true
+	case token.ASSIGN:
+		bin, ok := unparen(as.Rhs[0]).(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.ADD && bin.Op != token.SUB) {
+			return nil, false
+		}
+		want := types.ExprString(lhs)
+		if types.ExprString(unparen(bin.X)) == want || types.ExprString(unparen(bin.Y)) == want {
+			return lhs, true
+		}
+	}
+	return nil, false
+}
+
+func (p *Package) isFloatExpr(e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ruleHotpathAlloc is the source-level half of the zero-allocation gate.
+// Functions annotated //pliant:hotpath are the proven 0-alloc paths — the
+// sim typed-event dispatch, the stats histogram Record, cluster.Telemetry.
+// Observe, the energy accumulator, the service request path — each pinned
+// at runtime by a testing.AllocsPerRun test. The runtime pins catch a
+// regression after it lands; this rule flags the allocation-forcing
+// constructs themselves, at the line that introduces them:
+//
+//   - make/new and slice/map composite literals (always allocate when they
+//     escape, and a hot path should not be constructing containers at all);
+//   - composite literals with their address taken (&T{} escapes);
+//   - append, unless in the explicit reuse form append(x[:0], ...) — any
+//     other append may grow its backing array;
+//   - string concatenation and string<->[]byte conversions;
+//   - fmt.* calls (interface boxing allocates even when the verb doesn't);
+//   - function literals (closures allocate their capture records).
+//
+// A construct the compiler provably keeps on the stack can carry a
+// reasoned //pliant:allow hotpathalloc; the AllocsPerRun pin remains the
+// ground truth either way.
+type ruleHotpathAlloc struct{}
+
+func (ruleHotpathAlloc) Name() string { return "hotpathalloc" }
+
+func (ruleHotpathAlloc) Doc() string {
+	return "functions annotated //pliant:hotpath must avoid allocation-" +
+		"forcing constructs: make/new, escaping composite literals, " +
+		"growing append, string concat, fmt calls, and closures"
+}
+
+func (ruleHotpathAlloc) Applies(pkgPath string) bool {
+	return hasSegment(pkgPath, "internal")
+}
+
+func (ruleHotpathAlloc) Check(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasHotpathDirective(fd.Doc) {
+				continue
+			}
+			out = append(out, p.checkHotpathBody(f, fd)...)
+		}
+	}
+	return out
+}
+
+func (p *Package) checkHotpathBody(f *ast.File, fd *ast.FuncDecl) []Diagnostic {
+	var out []Diagnostic
+	name := fd.Name.Name
+	flag := func(pos token.Pos, format string, args ...any) {
+		args = append([]any{name}, args...)
+		out = append(out, p.diag("hotpathalloc", pos, "hotpath %s "+format, args...))
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			flag(n.Pos(), "contains a function literal; closures allocate their capture record")
+			return false
+		case *ast.CallExpr:
+			p.checkHotpathCall(f, n, flag)
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := unparen(n.X).(*ast.CompositeLit); ok {
+					flag(n.Pos(), "takes the address of a composite literal; &T{} escapes to the heap")
+					return false // the literal itself is already covered
+				}
+			}
+			return true
+		case *ast.CompositeLit:
+			if p.isSliceOrMapLit(n) {
+				flag(n.Pos(), "builds a %s literal; container literals allocate", litKind(p, n))
+			}
+			return true
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && p.isStringExpr(n.X) {
+				flag(n.Pos(), "concatenates strings; string + allocates the result")
+			}
+			return true
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && p.isStringExpr(n.Lhs[0]) {
+				flag(n.Pos(), "accumulates a string with +=; string append allocates")
+			}
+			return true
+		}
+		return true
+	})
+	return out
+}
+
+// checkHotpathCall flags allocating call forms: builtins, fmt, conversions.
+func (p *Package) checkHotpathCall(f *ast.File, call *ast.CallExpr, flag func(token.Pos, string, ...any)) {
+	fun := unparen(call.Fun)
+	switch fn := fun.(type) {
+	case *ast.Ident:
+		switch fn.Name {
+		case "make":
+			flag(call.Pos(), "calls make; hot paths must reuse preallocated buffers")
+		case "new":
+			flag(call.Pos(), "calls new; hot paths must reuse preallocated state")
+		case "append":
+			if !isReuseAppend(call) {
+				flag(call.Pos(), "appends outside the append(x[:0], ...) reuse form; append may grow its backing array")
+			}
+		}
+	case *ast.SelectorExpr:
+		if x, ok := fn.X.(*ast.Ident); ok && p.PkgQualifier(f, x) == "fmt" {
+			flag(call.Pos(), "calls fmt.%s; fmt boxes its operands into interfaces", fn.Sel.Name)
+		}
+	}
+	// string <-> byte/rune slice conversions copy their operand.
+	if tv, ok := p.Info.Types[fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := p.TypeOf(fun), p.TypeOf(call.Args[0])
+		if to != nil && from != nil && !types.Identical(to, from) &&
+			(isStringType(to) && isByteSliceType(from) || isByteSliceType(to) && isStringType(from)) {
+			flag(call.Pos(), "converts between string and byte slice; the conversion copies")
+		}
+	}
+}
+
+// isReuseAppend recognizes append(x[:0], ...): appending into an existing
+// backing array from length zero, the sanctioned reuse idiom.
+func isReuseAppend(call *ast.CallExpr) bool {
+	if len(call.Args) < 1 {
+		return false
+	}
+	se, ok := unparen(call.Args[0]).(*ast.SliceExpr)
+	if !ok || se.Low != nil {
+		return false
+	}
+	high, ok := se.High.(*ast.BasicLit)
+	return ok && high.Value == "0"
+}
+
+func (p *Package) isSliceOrMapLit(cl *ast.CompositeLit) bool {
+	t := p.TypeOf(cl)
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+func litKind(p *Package, cl *ast.CompositeLit) string {
+	t := p.TypeOf(cl)
+	if t == nil {
+		return "container"
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "container"
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSliceType(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}

@@ -14,6 +14,16 @@
 // path (see Rule.Applies); diagnostics render as "file:line: [rule]
 // message" with paths relative to the module root.
 //
+// Analysis runs in two phases. Phase 1 computes per-package facts — the
+// function-level call graph, goroutine spawn sites, //pliant:hotpath
+// annotations — in parallel across packages (see facts.go). Phase 2
+// propagates cross-package facts (the shard-parallel function set) over the
+// fact cache, then applies the rules: syntactic rules see one package at a
+// time, dataflow rules (FactRule) additionally see the propagated FactSet.
+// Packages are checked concurrently and findings land in per-package slots,
+// so one total sort at the end makes output order independent of both walk
+// and scheduling order.
+//
 // A finding can be suppressed in place with a reasoned comment:
 //
 //	t0 = time.Now() //pliant:allow wallclock — profiler measures real runtime
@@ -27,6 +37,7 @@ package lint
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Diagnostic is one rule finding at a source position. File is relative to
@@ -52,7 +63,7 @@ type Rule interface {
 	// Name is the short identifier used in diagnostics and in
 	// //pliant:allow comments.
 	Name() string
-	// Doc is a one-paragraph description of the invariant, for -rules.
+	// Doc is a one-paragraph description of the invariant, for -catalog.
 	Doc() string
 	// Applies reports whether the rule is in scope for a package import
 	// path. Out-of-scope packages are not checked at all.
@@ -61,43 +72,55 @@ type Rule interface {
 	Check(p *Package) []Diagnostic
 }
 
-// DefaultRules returns the full analyzer suite in catalog order.
+// FactRule is a dataflow rule: it consumes the propagated cross-package
+// FactSet in addition to the package under check. Its plain Check method is
+// never called by the runner (implementations return nil from it).
+type FactRule interface {
+	Rule
+	CheckFacts(p *Package, fs *FactSet) []Diagnostic
+}
+
+// DefaultRules returns the full analyzer suite in catalog order: the four
+// syntactic rules first, then the four dataflow rules.
 func DefaultRules() []Rule {
 	return []Rule{
 		ruleWallclock{},
 		ruleUnseededRand{},
 		ruleMapOrder{},
 		ruleSpawn{},
+		ruleSeedflow{},
+		ruleSharedState{},
+		ruleFloatOrder{},
+		ruleHotpathAlloc{},
 	}
 }
 
-// Run applies rules to every package, drops findings suppressed by
-// //pliant:allow comments, adds diagnostics for malformed suppression
-// comments, and returns the remainder sorted by file, line, column, rule.
+// Run computes facts over pkgs and applies rules: see RunWithFacts.
 func Run(pkgs []*Package, rules []Rule) []Diagnostic {
+	return RunWithFacts(pkgs, rules, ComputeFacts(pkgs))
+}
+
+// RunWithFacts applies rules to every package against a precomputed fact
+// set, drops findings suppressed by //pliant:allow comments, adds
+// diagnostics for malformed suppression comments, and returns the remainder
+// sorted by file, line, column, rule. Packages are checked concurrently;
+// the total sort makes the output independent of scheduling order.
+func RunWithFacts(pkgs []*Package, rules []Rule, fs *FactSet) []Diagnostic {
+	perPkg := make([][]Diagnostic, len(pkgs))
+	var wg sync.WaitGroup
+	for i, p := range pkgs {
+		wg.Add(1)
+		//pliant:allow spawn — analyzer fan-out: per-package findings land in disjoint slots and merge after the wait
+		go func(i int, p *Package) {
+			defer wg.Done()
+			perPkg[i] = checkPackage(p, rules, fs)
+		}(i, p)
+	}
+	wg.Wait()
+
 	var out []Diagnostic
-	for _, p := range pkgs {
-		allows := collectAllows(p)
-		for _, a := range allows {
-			if a.Malformed != "" {
-				out = append(out, Diagnostic{
-					File: a.File, Line: a.Line, Col: a.Col,
-					Rule:    "allow",
-					Message: a.Malformed,
-				})
-			}
-		}
-		for _, r := range rules {
-			if !r.Applies(p.Path) {
-				continue
-			}
-			for _, d := range r.Check(p) {
-				if suppressed(allows, d) {
-					continue
-				}
-				out = append(out, d)
-			}
-		}
+	for _, diags := range perPkg {
+		out = append(out, diags...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -115,5 +138,39 @@ func Run(pkgs []*Package, rules []Rule) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
+	return out
+}
+
+// checkPackage runs every in-scope rule over one package and filters its
+// findings through the package's //pliant:allow comments.
+func checkPackage(p *Package, rules []Rule, fs *FactSet) []Diagnostic {
+	var out []Diagnostic
+	allows := collectAllows(p)
+	for _, a := range allows {
+		if a.Malformed != "" {
+			out = append(out, Diagnostic{
+				File: a.File, Line: a.Line, Col: a.Col,
+				Rule:    "allow",
+				Message: a.Malformed,
+			})
+		}
+	}
+	for _, r := range rules {
+		if !r.Applies(p.Path) {
+			continue
+		}
+		var diags []Diagnostic
+		if fr, ok := r.(FactRule); ok {
+			diags = fr.CheckFacts(p, fs)
+		} else {
+			diags = r.Check(p)
+		}
+		for _, d := range diags {
+			if suppressed(allows, d) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
 	return out
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"strings"
 	"sync"
@@ -37,18 +38,19 @@ func getLoader(t *testing.T) *lint.Loader {
 	return loader
 }
 
-func lintDirs(t *testing.T, dirs ...string) []lint.Diagnostic {
+func loadDirs(t *testing.T, dirs ...string) []*lint.Package {
 	t.Helper()
 	l := getLoader(t)
-	var pkgs []*lint.Package
-	for _, dir := range dirs {
-		p, err := l.Load(dir)
-		if err != nil {
-			t.Fatalf("load %s: %v", dir, err)
-		}
-		pkgs = append(pkgs, p)
+	pkgs, err := l.LoadAll(dirs)
+	if err != nil {
+		t.Fatalf("load %v: %v", dirs, err)
 	}
-	return lint.Run(pkgs, lint.DefaultRules())
+	return pkgs
+}
+
+func lintDirs(t *testing.T, dirs ...string) []lint.Diagnostic {
+	t.Helper()
+	return lint.Run(loadDirs(t, dirs...), lint.DefaultRules())
 }
 
 // want is one expectation parsed from a fixture comment of the form
@@ -141,6 +143,10 @@ func TestUnseededRandFixture(t *testing.T) { checkFixture(t, "testdata/unseededr
 func TestMapOrderFixture(t *testing.T)     { checkFixture(t, "testdata/maporder/sched") }
 func TestSpawnFixture(t *testing.T)        { checkFixture(t, "testdata/spawn/pump") }
 func TestAllowFixture(t *testing.T)        { checkFixture(t, "testdata/allow/sim") }
+func TestSeedflowFixture(t *testing.T)     { checkFixture(t, "testdata/seedflow/gen") }
+func TestSharedStateFixture(t *testing.T)  { checkFixture(t, "testdata/sharedstate/shard") }
+func TestFloatOrderFixture(t *testing.T)   { checkFixture(t, "testdata/floatorder/obs") }
+func TestHotpathAllocFixture(t *testing.T) { checkFixture(t, "testdata/hotpathalloc/hot") }
 
 // fixtureDirs lists every leaf fixture package under testdata.
 func fixtureDirs(t *testing.T) []string {
@@ -195,6 +201,113 @@ func TestWallclockDiagnosticPosition(t *testing.T) {
 	t.Fatalf("no wallclock diagnostic for the planted time.Now at %s:%d", wantFile, wantLine)
 }
 
+// positionPin pins the exact file:line of one planted violation per
+// dataflow rule, matching the wallclock convention: the fixture and the pin
+// must move together, so diagnostic positions cannot silently drift.
+type positionPin struct {
+	rule     string
+	file     string
+	line     int
+	contains string
+}
+
+func TestDataflowDiagnosticPositions(t *testing.T) {
+	pins := []positionPin{
+		{"seedflow", "internal/lint/testdata/seedflow/gen/gen.go", 47, "rand.New"},
+		{"sharedstate", "internal/lint/testdata/sharedstate/shard/shard.go", 60, "package-level"},
+		{"floatorder", "internal/lint/testdata/floatorder/obs/obs.go", 15, "map-iteration"},
+		{"hotpathalloc", "internal/lint/testdata/hotpathalloc/hot/hot.go", 41, "fmt"},
+	}
+	dirs := []string{
+		"testdata/seedflow/gen", "testdata/sharedstate/shard",
+		"testdata/floatorder/obs", "testdata/hotpathalloc/hot",
+	}
+	diags := lintDirs(t, dirs...)
+	for _, pin := range pins {
+		found := false
+		for _, d := range diags {
+			if d.File == pin.file && d.Line == pin.line && d.Rule == pin.rule &&
+				strings.Contains(d.Message, pin.contains) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no %s diagnostic for the planted violation at %s:%d", pin.rule, pin.file, pin.line)
+		}
+	}
+}
+
+// TestFindingsSortedAndOrderIndependent pins the output ordering contract:
+// packages parse and check in parallel, so the runner's total (file, line,
+// col, rule, message) sort is the only thing standing between pliant-lint
+// and nondeterministic CI logs. Linting the same packages in reversed
+// argument order must produce byte-identical findings, and the findings
+// must actually be sorted.
+func TestFindingsSortedAndOrderIndependent(t *testing.T) {
+	dirs := []string{
+		"testdata/seedflow/gen", "testdata/sharedstate/shard",
+		"testdata/floatorder/obs", "testdata/hotpathalloc/hot",
+	}
+	fwd := lintDirs(t, dirs...)
+	rev := make([]string, len(dirs))
+	for i, d := range dirs {
+		rev[len(dirs)-1-i] = d
+	}
+	bwd := lintDirs(t, rev...)
+	if !reflect.DeepEqual(fwd, bwd) {
+		t.Fatalf("findings depend on package argument order:\nforward:  %v\nbackward: %v", fwd, bwd)
+	}
+	for i := 1; i < len(fwd); i++ {
+		a, b := fwd[i-1], fwd[i]
+		if a.File > b.File ||
+			(a.File == b.File && a.Line > b.Line) ||
+			(a.File == b.File && a.Line == b.Line && a.Col > b.Col) ||
+			(a.File == b.File && a.Line == b.Line && a.Col == b.Col && a.Rule > b.Rule) {
+			t.Fatalf("findings not sorted by (file, line, col, rule): %v before %v", a, b)
+		}
+	}
+	if len(fwd) == 0 {
+		t.Fatal("fixture set produced no findings; the ordering pin is vacuous")
+	}
+}
+
+// TestDefaultRuleCatalog pins the suite's composition and order: four
+// syntactic rules, then the four dataflow rules.
+func TestDefaultRuleCatalog(t *testing.T) {
+	want := []string{
+		"wallclock", "unseededrand", "maporder", "spawn",
+		"seedflow", "sharedstate", "floatorder", "hotpathalloc",
+	}
+	rules := lint.DefaultRules()
+	if len(rules) != len(want) {
+		t.Fatalf("DefaultRules has %d rules, want %d", len(rules), len(want))
+	}
+	for i, r := range rules {
+		if r.Name() != want[i] {
+			t.Errorf("DefaultRules[%d] = %s, want %s", i, r.Name(), want[i])
+		}
+	}
+}
+
+// TestHotpathAnnotationSet asserts the committed tree carries the hot-path
+// contract: at least five //pliant:hotpath annotations, each backed by an
+// AllocsPerRun runtime pin elsewhere in the test suite. Deleting the
+// annotations would silently disable the hotpathalloc gate; this test (and
+// a CI step over pliant-lint -json) makes that loud.
+func TestHotpathAnnotationSet(t *testing.T) {
+	l := getLoader(t)
+	dirs, err := l.Walk(l.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := lint.ComputeFacts(loadDirs(t, dirs...))
+	hot := fs.Hotpaths()
+	if len(hot) < 5 {
+		t.Fatalf("repo has %d //pliant:hotpath annotations (%v), want at least 5", len(hot), hot)
+	}
+}
+
 // TestDiagnosticFormat pins the rendered diagnostic shape the CLI and CI
 // logs rely on.
 func TestDiagnosticFormat(t *testing.T) {
@@ -231,6 +344,14 @@ func TestRuleScoping(t *testing.T) {
 		{"maporder", mod + "/internal/app", false},
 		{"spawn", mod + "/internal/cluster", true},
 		{"spawn", mod + "/cmd/pliant-served", false},
+		{"seedflow", mod + "/internal/fault", true},
+		{"seedflow", mod + "/cmd/pliant-run", false},
+		{"sharedstate", mod + "/internal/sched", true},
+		{"sharedstate", mod + "/examples/cluster", false},
+		{"floatorder", mod + "/internal/stats", true},
+		{"floatorder", mod + "/cmd/pliant-bench", false},
+		{"hotpathalloc", mod + "/internal/sim", true},
+		{"hotpathalloc", mod + "/cmd/pliant-sched", false},
 	}
 	for _, c := range cases {
 		r, ok := byName[c.rule]

@@ -9,8 +9,10 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package: the unit a Rule checks.
@@ -49,6 +51,13 @@ type Loader struct {
 	stdBin  types.Importer
 	stubs   map[string]*types.Package
 	loading map[string]bool // cycle guard
+
+	// parsed holds files pre-parsed by LoadAll's concurrent parse phase,
+	// keyed by absolute path; loadPath consumes it before falling back to
+	// parsing inline. Filled only between LoadAll's two phases, read only
+	// from the sequential type-check phase.
+	parsed    map[string]*ast.File
+	parseErrs map[string]error
 }
 
 // FindModuleRoot walks up from dir to the nearest directory containing
@@ -83,14 +92,16 @@ func NewLoader(root string) (*Loader, error) {
 	}
 	fset := token.NewFileSet()
 	return &Loader{
-		Root:    abs,
-		Module:  mod,
-		fset:    fset,
-		pkgs:    make(map[string]*Package),
-		stdSrc:  importer.ForCompiler(fset, "source", nil),
-		stdBin:  importer.Default(),
-		stubs:   make(map[string]*types.Package),
-		loading: make(map[string]bool),
+		Root:      abs,
+		Module:    mod,
+		fset:      fset,
+		pkgs:      make(map[string]*Package),
+		stdSrc:    importer.ForCompiler(fset, "source", nil),
+		stdBin:    importer.Default(),
+		stubs:     make(map[string]*types.Package),
+		loading:   make(map[string]bool),
+		parsed:    make(map[string]*ast.File),
+		parseErrs: make(map[string]error),
 	}, nil
 }
 
@@ -171,6 +182,69 @@ func isLintedFile(name string) bool {
 		!strings.HasPrefix(name, "_")
 }
 
+// LoadAll loads every directory in dirs: all source files parse concurrently
+// first (token.FileSet is synchronized, and parsing dominates load time),
+// then packages type-check sequentially in the given order so import
+// resolution and diagnostics stay deterministic. The resulting package order
+// matches dirs; finding order is nondeterministic only until Run's total
+// sort.
+func (l *Loader) LoadAll(dirs []string) ([]*Package, error) {
+	var paths []string
+	for _, dir := range dirs {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return nil, err
+		}
+		ents, err := os.ReadDir(abs)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && isLintedFile(e.Name()) {
+				paths = append(paths, filepath.Join(abs, e.Name()))
+			}
+		}
+	}
+
+	files := make([]*ast.File, len(paths))
+	errs := make([]error, len(paths))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(paths) {
+		workers = len(paths)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		//pliant:allow spawn — parse fan-out: workers fill disjoint slots of files/errs and exit before the merge
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				files[i], errs[i] = parser.ParseFile(l.fset, paths[i], nil, parser.ParseComments)
+			}
+		}()
+	}
+	for i := range paths {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, path := range paths {
+		l.parsed[path] = files[i]
+		l.parseErrs[path] = errs[i]
+	}
+
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		p, err := l.Load(dir)
+		if err != nil {
+			return nil, fmt.Errorf("lint: load %s: %w", dir, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
 // Load parses and type-checks the package in dir. Results are cached by
 // import path, so loading a package that imports an already-loaded one is
 // cheap and all packages share one FileSet.
@@ -211,7 +285,12 @@ func (l *Loader) loadPath(path, dir string) (*Package, error) {
 
 	p := &Package{Path: path, Dir: dir, Fset: l.fset, loader: l}
 	for _, name := range names {
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		full := filepath.Join(dir, name)
+		f, pre := l.parsed[full]
+		err := l.parseErrs[full]
+		if !pre {
+			f, err = parser.ParseFile(l.fset, full, nil, parser.ParseComments)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("lint: %w", err)
 		}

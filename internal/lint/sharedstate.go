@@ -1,0 +1,379 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// mutatorNames match method calls that mutate their receiver; calling one
+// on a package-level variable from shard-parallel code is a write in
+// disguise (sync.Map.Store, counter Add, cache Put, ...). Read-side methods
+// (Load, Get, Len) stay legal.
+var mutatorNames = map[string]bool{
+	"Store": true, "LoadOrStore": true, "LoadAndDelete": true, "Delete": true,
+	"Swap": true, "CompareAndSwap": true, "Add": true, "Set": true,
+	"Put": true, "Push": true, "Pop": true, "Inc": true, "Dec": true,
+	"Write": true, "Record": true, "Observe": true, "Emit": true,
+	"Append": true, "Reset": true, "Remove": true,
+}
+
+// ruleSharedState enforces the shard ownership discipline on the
+// shard-parallel function set (see facts.go for how the set is derived from
+// the sanctioned `go` statements). Inside a parallel function, a write is
+// legal when it lands in memory the executing goroutine owns:
+//
+//   - locals, and locals aliasing an indexed slot (n := s.nodes[i]);
+//   - depth-1 fields of the receiver or of pointer parameters — the
+//     node-local state a shard method was handed to mutate (sh.ws, e.count,
+//     including map fields at depth 1);
+//   - anything reached through a slice index — the disjoint-slot discipline
+//     (s.results[i], e.slots[idx].when, captured out.Nodes[i]): slots are
+//     partitioned across goroutines, so indexed writes never collide.
+//
+// Everything else is shared until proven otherwise and is flagged:
+// package-level variables (including mutator method calls on them), state
+// reached through deeper receiver/parameter field chains with no slot index
+// (sh.g.merged = x crosses into the coordinator), locals aliasing such
+// chains, writes to captured variables with no slot index, and map writes
+// beyond depth-1 (maps have no disjoint-slot story). The set is an
+// over-approximation, so every finding is either a real race, a
+// determinism hazard, or a site worth a reasoned //pliant:allow.
+type ruleSharedState struct{}
+
+func (ruleSharedState) Name() string { return "sharedstate" }
+
+func (ruleSharedState) Doc() string {
+	return "shard-parallel functions may write only goroutine-owned state: " +
+		"locals, depth-1 receiver/parameter fields, and slice-indexed slots; " +
+		"package-level vars, coordinator field chains, and shared map writes are flagged"
+}
+
+func (ruleSharedState) Applies(pkgPath string) bool {
+	return hasSegment(pkgPath, "internal")
+}
+
+func (ruleSharedState) Check(p *Package) []Diagnostic { return nil }
+
+func (ruleSharedState) CheckFacts(p *Package, fs *FactSet) []Diagnostic {
+	pf := fs.Pkg(p.Path)
+	if pf == nil {
+		return nil
+	}
+	keys := make([]string, 0, len(pf.Funcs))
+	for k := range pf.Funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []Diagnostic
+	for _, k := range keys {
+		if !fs.IsParallel(k) {
+			continue
+		}
+		ff := pf.Funcs[k]
+		out = append(out, p.checkParallelWrites(ff, effectiveFrame(fs, ff))...)
+	}
+	return out
+}
+
+// effectiveFrame resolves which function's goroutine executes ff's body. A
+// literal that is parallel only by lexical containment — an ast.Inspect
+// callback, a sort.Slice less function, anything invoked synchronously —
+// runs on its parent's goroutine, so writes to captured state are
+// frame-private, not cross-goroutine. Classification therefore walks up the
+// literal-nesting chain until it reaches a frame that actually crosses a
+// spawn boundary (a `go` target or a higher-order argument) or the
+// outermost declaration, and judges ownership as if that frame wrote.
+func effectiveFrame(fs *FactSet, ff *FuncFact) *FuncFact {
+	frame := ff
+	for frame.parent != nil && !fs.CrossesSpawn(frame.Key) {
+		frame = frame.parent
+	}
+	return frame
+}
+
+// checkParallelWrites scans one parallel function's own statements (nested
+// literals have their own facts and are scanned under their own keys),
+// classifying each write against the frame whose goroutine runs the body.
+func (p *Package) checkParallelWrites(ff, frame *FuncFact) []Diagnostic {
+	var out []Diagnostic
+	shortName := ff.Key
+	if i := lastSlash(shortName); i >= 0 {
+		shortName = shortName[i+1:]
+	}
+	ast.Inspect(ff.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return n.Body == ff.body // only descend into our own body
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if d, bad := p.classifyWrite(frame, lhs); bad {
+					d.Message = "shard-parallel " + shortName + " " + d.Message
+					out = append(out, d)
+				}
+			}
+		case *ast.IncDecStmt:
+			if d, bad := p.classifyWrite(frame, n.X); bad {
+				d.Message = "shard-parallel " + shortName + " " + d.Message
+				out = append(out, d)
+			}
+		case *ast.CallExpr:
+			if d, bad := p.classifyMutatorCall(frame, n); bad {
+				d.Message = "shard-parallel " + shortName + " " + d.Message
+				out = append(out, d)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}
+
+// writeTarget is a decomposed assignment destination: the chain's root
+// identifier plus what the chain passes through on the way down.
+type writeTarget struct {
+	root     *ast.Ident
+	hops     int // selector depth from the root
+	sliceIdx bool
+	mapIdx   bool
+}
+
+// decompose unwinds an lvalue to its root identifier.
+func (p *Package) decompose(e ast.Expr) (writeTarget, bool) {
+	var w writeTarget
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			w.hops++
+			e = x.X
+		case *ast.IndexExpr:
+			if p.isMapType(x.X) {
+				w.mapIdx = true
+			} else {
+				w.sliceIdx = true
+			}
+			e = x.X
+		case *ast.Ident:
+			w.root = x
+			return w, true
+		default:
+			return w, false
+		}
+	}
+}
+
+// classifyWrite applies the ownership rules to one assignment destination.
+func (p *Package) classifyWrite(ff *FuncFact, lhs ast.Expr) (Diagnostic, bool) {
+	w, ok := p.decompose(lhs)
+	if !ok || w.root.Name == "_" {
+		return Diagnostic{}, false
+	}
+	obj := p.objectOf(w.root)
+	if obj == nil {
+		return Diagnostic{}, false
+	}
+	target := types.ExprString(lhs)
+
+	if p.isPackageLevel(obj) {
+		return p.diag("sharedstate", lhs.Pos(),
+			"writes package-level state %q; globals are shared across every goroutine of a run", target), true
+	}
+
+	isRecv, isParam, isCaptured := ownerOf(ff, obj)
+	switch {
+	case isRecv || isParam:
+		if w.hops <= 1 {
+			return Diagnostic{}, false // node-local: the state this function was handed
+		}
+		if w.sliceIdx {
+			return Diagnostic{}, false // disjoint-slot discipline
+		}
+		if w.mapIdx {
+			return p.diag("sharedstate", lhs.Pos(),
+				"writes shared map %q; maps have no disjoint-slot discipline — fold per shard and merge at the barrier", target), true
+		}
+		return p.diag("sharedstate", lhs.Pos(),
+			"writes %q through a depth-%d field chain with no owned slot index; state beyond depth-1 fields is coordinator-owned", target, w.hops), true
+	case isCaptured:
+		if w.sliceIdx {
+			return Diagnostic{}, false
+		}
+		if w.mapIdx {
+			return p.diag("sharedstate", lhs.Pos(),
+				"writes captured map %q from a spawned goroutine; map writes race — use disjoint slice slots", target), true
+		}
+		return p.diag("sharedstate", lhs.Pos(),
+			"writes captured %q from a spawned goroutine with no disjoint slot index", target), true
+	}
+
+	// A local of this function (or of an enclosing one, for literals).
+	if declaredWithin(obj, ff) {
+		if w.hops == 0 && !w.mapIdx {
+			return Diagnostic{}, false // plain local (re)assignment
+		}
+		switch p.localAlias(ff, obj) {
+		case aliasShared:
+			if w.sliceIdx {
+				return Diagnostic{}, false
+			}
+			return p.diag("sharedstate", lhs.Pos(),
+				"writes %q through a local aliasing shared state with no owned slot index", target), true
+		default:
+			return Diagnostic{}, false // owned, slot alias, or range var
+		}
+	}
+
+	// Captured local of an enclosing function.
+	if w.sliceIdx {
+		return Diagnostic{}, false
+	}
+	if w.mapIdx {
+		return p.diag("sharedstate", lhs.Pos(),
+			"writes captured map %q from a spawned goroutine; map writes race — use disjoint slice slots", target), true
+	}
+	return p.diag("sharedstate", lhs.Pos(),
+		"writes captured %q from a spawned goroutine with no disjoint slot index", target), true
+}
+
+// classifyMutatorCall flags mutator method calls on package-level state.
+func (p *Package) classifyMutatorCall(ff *FuncFact, call *ast.CallExpr) (Diagnostic, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !mutatorNames[sel.Sel.Name] {
+		return Diagnostic{}, false
+	}
+	w, ok := p.decompose(sel.X)
+	if !ok {
+		return Diagnostic{}, false
+	}
+	obj := p.objectOf(w.root)
+	if obj == nil || !p.isPackageLevel(obj) {
+		return Diagnostic{}, false
+	}
+	return p.diag("sharedstate", call.Pos(),
+		"calls %s.%s, mutating package-level state; globals are shared across every goroutine of a run",
+		w.root.Name, sel.Sel.Name), true
+}
+
+func (p *Package) objectOf(id *ast.Ident) types.Object {
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
+}
+
+// isPackageLevel reports whether obj is a package-scope variable.
+func (p *Package) isPackageLevel(obj types.Object) bool {
+	if _, ok := obj.(*types.Var); !ok {
+		return false
+	}
+	return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+// ownerOf classifies obj against ff's receiver and parameters, walking the
+// literal-nesting chain: captured means it belongs to an enclosing function.
+func ownerOf(ff *FuncFact, obj types.Object) (isRecv, isParam, isCaptured bool) {
+	for f := ff; f != nil; f = f.parent {
+		if f.recvObj != nil && f.recvObj == obj {
+			return f == ff, false, f != ff
+		}
+		if f.paramObjs[obj] {
+			return false, f == ff, f != ff
+		}
+	}
+	return false, false, false
+}
+
+// declaredWithin reports whether obj's declaration lies inside ff's own
+// body (as opposed to an enclosing function's).
+func declaredWithin(obj types.Object, ff *FuncFact) bool {
+	return obj.Pos() >= ff.body.Pos() && obj.Pos() <= ff.body.End()
+}
+
+type aliasClass int
+
+const (
+	aliasOwned  aliasClass = iota // fresh value: composite literal, make, call result
+	aliasSlot                     // aliases an indexed slot (n := s.nodes[i])
+	aliasShared                   // aliases a shared chain (s := sh.g.s)
+)
+
+// localAlias classifies what a local variable aliases by inspecting its
+// assignments inside ff. Range variables and indexed-slot aliases are
+// owned-slot views; selector chains off the receiver, parameters, captured
+// state, or globals are shared aliases.
+func (p *Package) localAlias(ff *FuncFact, obj types.Object) aliasClass {
+	class := aliasOwned
+	ast.Inspect(ff.body, func(n ast.Node) bool {
+		if class == aliasShared {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := e.(*ast.Ident); ok && p.objectOf(id) == obj {
+					class = aliasSlot
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || p.objectOf(id) != obj || i >= len(n.Rhs) {
+					continue
+				}
+				class = p.aliasOf(ff, n.Rhs[i])
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if p.objectOf(name) == obj && i < len(n.Values) {
+					class = p.aliasOf(ff, n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return class
+}
+
+// aliasOf classifies one RHS expression.
+func (p *Package) aliasOf(ff *FuncFact, rhs ast.Expr) aliasClass {
+	rhs = unparen(rhs)
+	if u, ok := rhs.(*ast.UnaryExpr); ok {
+		rhs = u.X // &expr aliases expr
+	}
+	w, ok := p.decompose(rhs)
+	if !ok {
+		return aliasOwned // call result, literal, arithmetic: a fresh value
+	}
+	if w.sliceIdx {
+		return aliasSlot
+	}
+	if w.hops == 0 {
+		return aliasOwned // plain local-to-local copy
+	}
+	obj := p.objectOf(w.root)
+	if obj == nil {
+		return aliasOwned
+	}
+	if p.isPackageLevel(obj) {
+		return aliasShared
+	}
+	if isRecv, isParam, isCaptured := ownerOf(ff, obj); isRecv || isParam || isCaptured {
+		return aliasShared
+	}
+	if !declaredWithin(obj, ff) {
+		return aliasShared // chain rooted in a captured local
+	}
+	return aliasOwned
+}

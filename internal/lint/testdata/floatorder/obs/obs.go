@@ -1,0 +1,83 @@
+// Package obs is a floatorder rule fixture: float sums in map-iteration
+// order and in goroutine-interleaving order are flagged; the collect-then-
+// sort and per-slot idioms stay legal.
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// SumMap accumulates in map-iteration order: the bytes change per process.
+func SumMap(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `\[floatorder\].*map-iteration`
+	}
+	return sum
+}
+
+// SumMapExpr spells the accumulation as sum = sum + x: same hazard.
+func SumMapExpr(m map[string]float64) float64 {
+	sum := 0.0
+	for k := range m {
+		sum = sum + m[k] // want `\[floatorder\].*map-iteration`
+	}
+	return sum
+}
+
+// SumSorted is the sanctioned fix — collect keys, sort, then sum: no
+// finding.
+func SumSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// CountMap shows integer accumulation over a map range stays legal here:
+// integer addition associates, so order cannot change the result.
+func CountMap(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+type merger struct {
+	grand float64
+	parts []float64
+}
+
+// fanIn spawns one goroutine per part: per-slot writes are legal, the
+// shared grand total accumulates in interleaving order (flagged by both the
+// float-order and ownership analyses).
+func (mg *merger) fanIn(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) { // want `\[spawn\]`
+			defer wg.Done()
+			mg.parts[i] = float64(i) // disjoint slot: legal
+			mg.grand += float64(i)   // want `\[(floatorder|sharedstate)\]`
+		}(i)
+	}
+	wg.Wait()
+}
+
+// FoldSorted merges per-part sums in fixed index order after the barrier:
+// the sanctioned fix for fanIn's grand total. No finding.
+func (mg *merger) FoldSorted() float64 {
+	var sum float64
+	for _, p := range mg.parts {
+		sum += p
+	}
+	return sum
+}

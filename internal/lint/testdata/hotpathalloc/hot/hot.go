@@ -1,0 +1,81 @@
+// Package hot is a hotpathalloc rule fixture: allocation-forcing constructs
+// inside //pliant:hotpath-annotated functions are flagged; the same
+// constructs in unannotated functions, and the sanctioned reuse idioms, are
+// not.
+package hot
+
+import "fmt"
+
+type ring struct {
+	buf []int
+	n   int
+}
+
+// Sum is a clean hot path: range over a preallocated buffer, integer
+// arithmetic, no construction. No findings.
+//
+//pliant:hotpath
+func (r *ring) Sum() int {
+	t := 0
+	for _, v := range r.buf {
+		t += v
+	}
+	return t
+}
+
+//pliant:hotpath
+func (r *ring) Push(v int) {
+	r.buf = append(r.buf, v) // want `\[hotpathalloc\].*append`
+}
+
+// Refill reuses the existing backing array: the sanctioned append form.
+// No findings.
+//
+//pliant:hotpath
+func (r *ring) Refill(v int) {
+	r.buf = append(r.buf[:0], v)
+}
+
+//pliant:hotpath
+func Describe(v int) string {
+	return fmt.Sprintf("v=%d", v) // want `\[hotpathalloc\].*fmt`
+}
+
+//pliant:hotpath
+func Pair(a, b int) *[2]int {
+	return &[2]int{a, b} // want `\[hotpathalloc\].*address of a composite`
+}
+
+//pliant:hotpath
+func Join(a, b string) string {
+	return a + b // want `\[hotpathalloc\].*concatenates`
+}
+
+//pliant:hotpath
+func Grow(n int) []int {
+	return make([]int, n) // want `\[hotpathalloc\].*make`
+}
+
+//pliant:hotpath
+func Lits() int {
+	xs := []int{1, 2} // want `\[hotpathalloc\].*slice literal`
+	return xs[0] + xs[1]
+}
+
+//pliant:hotpath
+func Wrap(f func()) func() {
+	return func() { f() } // want `\[hotpathalloc\].*function literal`
+}
+
+//pliant:hotpath
+func Bytes(s string) []byte {
+	return []byte(s) // want `\[hotpathalloc\].*copies`
+}
+
+// NotHot carries no annotation: the same constructs are legal outside
+// declared hot paths.
+func NotHot(v int) string {
+	xs := make([]int, v)
+	xs = append(xs, v)
+	return fmt.Sprint(len(xs))
+}

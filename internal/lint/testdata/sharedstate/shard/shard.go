@@ -1,0 +1,88 @@
+// Package shard is a sharedstate rule fixture: a miniature shard runtime
+// exercising the ownership classification — node-local and slot-indexed
+// writes stay legal, package-level, coordinator-chain, shared-alias, and
+// captured writes are flagged.
+package shard
+
+type node struct {
+	served int
+	busy   int
+}
+
+type coord struct {
+	totalServed int
+	nodes       []node
+	cache       map[string]int
+}
+
+type counter struct{ n int }
+
+// Add mutates the counter; calling it on the package-level instance from
+// shard context is a write in disguise.
+func (c *counter) Add(d int) { c.n += d }
+
+var totalEpisodes int
+var registry = map[string]int{}
+var hits counter
+
+type worker struct {
+	c       *coord
+	id      int
+	local   int
+	scratch map[string]int
+	req     chan int
+}
+
+// start launches one goroutine per worker: these spawns are the fixture's
+// shard-parallel roots.
+func start(c *coord, n int) []*worker {
+	ws := make([]*worker, n)
+	for i := range ws {
+		ws[i] = &worker{c: c, id: i, scratch: map[string]int{}, req: make(chan int)}
+		go ws[i].loop() // want `\[spawn\]`
+	}
+	return ws
+}
+
+func (w *worker) loop() {
+	for i := range w.req {
+		w.run(i)
+	}
+}
+
+func (w *worker) run(i int) {
+	w.local++                // own depth-1 field: node-local, legal
+	w.scratch["episode"] = i // own depth-1 map: node-local, legal
+	n := &w.c.nodes[i]       // slot alias: disjoint per-episode slot
+	n.served++               // legal through the slot alias
+	w.c.nodes[i].busy = 0    // slice-indexed: disjoint-slot discipline, legal
+
+	totalEpisodes++     // want `\[sharedstate\].*package-level`
+	registry["run"] = i // want `\[sharedstate\].*package-level`
+	hits.Add(1)         // want `\[sharedstate\].*mutating package-level`
+
+	w.c.totalServed++ // want `\[sharedstate\].*depth-2 field chain`
+
+	c := w.c
+	c.totalServed = c.totalServed + 1 // want `\[sharedstate\].*aliasing shared`
+
+	w.c.cache["total"] = i // want `\[sharedstate\].*shared map`
+}
+
+// fanout spawns literals that capture enclosing state: slice-indexed slots
+// stay legal, a plain captured counter does not.
+func fanout(c *coord, vals []int) {
+	done := make(chan struct{})
+	count := 0
+	for i := range vals {
+		go func(i int) { // want `\[spawn\]`
+			vals[i] = c.nodes[i].served // disjoint slot in a captured slice: legal
+			count++                     // want `\[sharedstate\].*captured`
+			done <- struct{}{}
+		}(i)
+	}
+	for range vals {
+		<-done
+	}
+	_ = count
+}

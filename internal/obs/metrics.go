@@ -56,6 +56,8 @@ type Counter struct {
 }
 
 // Inc adds 1.
+//
+//pliant:hotpath
 func (c *Counter) Inc() { c.v++ }
 
 // Add adds d (must be non-negative to keep Prometheus semantics).
@@ -88,6 +90,8 @@ type Histogram struct {
 }
 
 // Observe records one value. Alloc-free.
+//
+//pliant:hotpath
 func (h *Histogram) Observe(v float64) {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {

@@ -29,7 +29,8 @@ func NewRNG(seed uint64) *RNG {
 // Split derives a new independent generator from r, keyed by label. Use it to
 // hand each simulated component its own stream.
 func (r *RNG) Split(label uint64) *RNG {
-	return NewRNG(r.Uint64() ^ (label * 0xd1342543de82ef95))
+	seed := r.Uint64() ^ (label * 0xd1342543de82ef95)
+	return NewRNG(seed)
 }
 
 // Mix64 is the splitmix64 finalizer: a bijective avalanche over one word.

@@ -73,6 +73,7 @@ func tableFor(min, max float64, bpo, n int) *bucketTable {
 		return t.(*bucketTable)
 	}
 	t := buildTable(min, bpo, n)
+	//pliant:allow sharedstate — sync.Map memo of immutable bucket tables; LoadOrStore is idempotent and every racer builds the same table
 	actual, _ := tableCache.LoadOrStore(key, t)
 	return actual.(*bucketTable)
 }
@@ -203,6 +204,8 @@ func (h *Histogram) bucketValue(i int) float64 { return h.table.values[i] }
 // Record adds one observation. Non-positive and NaN values are ignored:
 // latencies and durations are strictly positive in this codebase, so such a
 // value indicates a harmless sampling artifact rather than a datum.
+//
+//pliant:hotpath
 func (h *Histogram) Record(v float64) {
 	if math.IsNaN(v) || v <= 0 {
 		return

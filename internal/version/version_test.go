@@ -1,0 +1,78 @@
+package version
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestStringFormat sanity-checks the build identity line: module path,
+// a version token, and a parenthesized toolchain suffix.
+func TestStringFormat(t *testing.T) {
+	s := String()
+	if !strings.HasPrefix(s, "github.com/approx-sched/pliant ") {
+		t.Fatalf("version %q does not start with the module path", s)
+	}
+	if !strings.Contains(s, "(go") || !strings.HasSuffix(s, ")") {
+		t.Fatalf("version %q does not carry a parenthesized go toolchain suffix", s)
+	}
+}
+
+// TestEveryBinarySharesVersion pins the -version contract: every binary
+// under cmd/ prints the one build identity, by calling pliant.Version()
+// (which delegates here) rather than hand-rolling its own string. The test
+// parses each main.go and requires both the call and a -version flag.
+func TestEveryBinarySharesVersion(t *testing.T) {
+	cmdDir := filepath.Join("..", "..", "cmd")
+	entries, err := os.ReadDir(cmdDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var binaries []string
+	for _, e := range entries {
+		if e.IsDir() {
+			binaries = append(binaries, e.Name())
+		}
+	}
+	if len(binaries) < 6 {
+		t.Fatalf("found %d binaries under cmd/, want at least 6: %v", len(binaries), binaries)
+	}
+	for _, bin := range binaries {
+		path := filepath.Join(cmdDir, bin, "main.go")
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		callsVersion, declaresFlag := false, false
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if x, ok := sel.X.(*ast.Ident); ok {
+					if x.Name == "pliant" && sel.Sel.Name == "Version" {
+						callsVersion = true
+					}
+					if x.Name == "flag" && len(call.Args) > 0 {
+						if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Value == `"version"` {
+							declaresFlag = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		if !callsVersion {
+			t.Errorf("%s does not call pliant.Version(); every binary must share one build identity", path)
+		}
+		if !declaresFlag {
+			t.Errorf("%s does not declare a -version flag", path)
+		}
+	}
+}
